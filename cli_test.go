@@ -1,0 +1,102 @@
+package rlc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the command-line tools and exercises the full
+// generate -> build -> query -> inspect pipeline end to end.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"rlcgen", "rlcbuild", "rlcquery", "rlcinspect", "rlcbench"} {
+		bin := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+		bins[tool] = bin
+	}
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[tool], args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", tool, strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	graphFile := filepath.Join(dir, "g.graph")
+	queryFile := filepath.Join(dir, "g.queries")
+	indexFile := filepath.Join(dir, "g.rlc")
+
+	out := run("rlcgen", "-model", "er", "-n", "300", "-d", "4", "-labels", "4",
+		"-seed", "3", "-out", graphFile, "-workload", queryFile, "-queries", "25", "-len", "2")
+	if !strings.Contains(out, "300 vertices") {
+		t.Errorf("rlcgen output unexpected: %s", out)
+	}
+
+	out = run("rlcbuild", "-graph", graphFile, "-k", "2", "-out", indexFile)
+	if !strings.Contains(out, "indexing time") || !strings.Contains(out, "wrote") {
+		t.Errorf("rlcbuild output unexpected: %s", out)
+	}
+
+	for _, method := range []string{"index", "bfs", "bibfs", "dfs", "hybrid"} {
+		args := []string{"-graph", graphFile, "-queries", queryFile, "-method", method}
+		if method == "index" || method == "hybrid" {
+			args = append(args, "-index", indexFile)
+		}
+		out = run("rlcquery", args...)
+		if !strings.Contains(out, "50/50 match ground truth") {
+			t.Errorf("rlcquery %s: %s", method, out)
+		}
+	}
+
+	out = run("rlcquery", "-graph", graphFile, "-index", indexFile,
+		"-s", "0", "-t", "1", "-expr", "(l0 l1)+")
+	if !strings.Contains(out, "(0, 1, (l0 l1)+) =") {
+		t.Errorf("rlcquery single: %s", out)
+	}
+
+	out = run("rlcinspect", "-graph", graphFile, "-index", indexFile, "-vertices", "0")
+	if !strings.Contains(out, "entries:") || !strings.Contains(out, "Lout:") {
+		t.Errorf("rlcinspect: %s", out)
+	}
+
+	// A micro bench run: table3 only, on a tiny filter, writing markdown.
+	resultsDir := filepath.Join(dir, "results")
+	out = run("rlcbench", "-exp", "table3", "-datasets", "AD", "-quiet", "-out", resultsDir)
+	if !strings.Contains(out, "table3") {
+		t.Errorf("rlcbench: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(resultsDir, "table3.md")); err != nil {
+		t.Errorf("rlcbench did not write markdown: %v", err)
+	}
+}
+
+// TestCLIErrors verifies the tools fail cleanly on bad input.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI errors skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "rlcbuild")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rlcbuild").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("rlcbuild without flags should fail")
+	}
+	if err := exec.Command(bin, "-graph", "/nonexistent", "-out", filepath.Join(dir, "x")).Run(); err == nil {
+		t.Error("rlcbuild with missing graph should fail")
+	}
+}

@@ -1,0 +1,101 @@
+// Command rlcbench reproduces the tables and figures of the paper's
+// evaluation section (Table III, Table IV, Figures 3-7, Table V).
+//
+//	rlcbench -exp all                      # everything, default scale
+//	rlcbench -exp table4 -scale 0.01       # larger replicas
+//	rlcbench -exp fig3 -datasets AD,TW,WN  # subset of datasets
+//	rlcbench -exp table5 -out results/     # write markdown files
+//
+// Scale guidance: the default (-scale 0.004, cap 20000 vertices) finishes
+// in minutes on a laptop. The paper's absolute numbers used graphs up to
+// 123M edges on a 128 GB server; what this harness reproduces is the shape:
+// method orderings, growth trends, and order-of-magnitude gaps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table3, table4, fig3..fig7, table5) or \"all\"")
+		scale    = flag.Float64("scale", 0, "dataset replica scale (0 = default)")
+		maxV     = flag.Int("max-vertices", 0, "replica vertex cap (0 = default)")
+		queries  = flag.Int("queries", 0, "queries per true/false set (0 = default)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
+		dsets    = flag.String("datasets", "", "comma-separated dataset filter (empty = all)")
+		synthV   = flag.Int("synth-vertices", 0, "fig5 synthetic |V| (0 = default)")
+		out      = flag.String("out", "", "directory for markdown output (empty = stdout only)")
+		etcLimit = flag.Duration("etc-limit", 0, "ETC construction budget (0 = default)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:         *scale,
+		MaxVertices:   *maxV,
+		QueriesPerSet: *queries,
+		Seed:          *seed,
+		SynthVertices: *synthV,
+		ETCTimeLimit:  *etcLimit,
+	}
+	if *dsets != "" {
+		cfg.Datasets = strings.Split(*dsets, ",")
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	var exps []bench.Experiment
+	if strings.EqualFold(*exp, "all") {
+		exps = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatalf("mkdir %s: %v", *out, err)
+		}
+	}
+
+	for _, e := range exps {
+		fmt.Fprintf(os.Stderr, "=== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Fprintf(os.Stderr, "=== %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			fmt.Println()
+			if err := t.Render(os.Stdout); err != nil {
+				fatalf("render: %v", err)
+			}
+			if *out != "" {
+				path := filepath.Join(*out, t.ID+".md")
+				if err := os.WriteFile(path, []byte(t.Markdown()), 0o644); err != nil {
+					fatalf("write %s: %v", path, err)
+				}
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rlcbench: "+format+"\n", args...)
+	os.Exit(1)
+}

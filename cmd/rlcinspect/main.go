@@ -1,0 +1,99 @@
+// Command rlcinspect prints the internals of an RLC index: summary
+// statistics, entry and hub distributions (the skew behind the paper's
+// Figure 5/6 discussion), and the decoded Lin/Lout sets of chosen vertices
+// (the Table II view).
+//
+//	rlcinspect -graph g.graph -index g.rlc
+//	rlcinspect -graph g.graph -k 2 -vertices 0,3,5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	rlc "github.com/g-rpqs/rlc-go"
+	"github.com/g-rpqs/rlc-go/internal/core"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (required)")
+		indexPath = flag.String("index", "", "index file (built on the fly when omitted)")
+		k         = flag.Int("k", 2, "recursive k when building on the fly")
+		vertices  = flag.String("vertices", "", "comma-separated vertex ids whose Lin/Lout to print")
+		order     = flag.Bool("order", false, "print the full access order")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatalf("missing -graph")
+	}
+	g, err := rlc.LoadGraphFile(*graphPath)
+	if err != nil {
+		fatalf("load graph: %v", err)
+	}
+	var ix *rlc.Index
+	if *indexPath != "" {
+		ix, err = rlc.LoadIndexFile(*indexPath, g)
+	} else {
+		ix, err = rlc.BuildIndex(g, rlc.Options{K: *k})
+	}
+	if err != nil {
+		fatalf("index: %v", err)
+	}
+
+	st := ix.Stats()
+	fmt.Printf("index over %d vertices / %d edges, k = %d\n", st.Vertices, st.Edges, st.K)
+	fmt.Printf("entries:      %d (%d in, %d out)\n", st.Entries, st.InEntries, st.OutEntries)
+	fmt.Printf("distinct MRs: %d\n", st.DistinctMRs)
+	fmt.Printf("size:         %.2f MB\n", float64(st.SizeBytes)/(1024*1024))
+
+	printDist := func(name string, d core.Distribution) {
+		fmt.Printf("%s: carriers=%d max=%d mean=%.1f p99=%d top1%%-share=%.1f%%\n",
+			name, d.Count, d.Max, d.Mean, d.P99, d.TopShare*100)
+	}
+	fmt.Println()
+	printDist("entry distribution (per vertex)", ix.EntryDistribution())
+	printDist("hub distribution (per hub)    ", ix.HubDistribution())
+
+	if *order {
+		fmt.Println("\naccess order (IN-OUT strategy):")
+		for i, v := range ix.AccessOrder() {
+			fmt.Printf("  aid %d: %s\n", i+1, g.VertexName(v))
+		}
+	}
+
+	if *vertices != "" {
+		for _, tok := range strings.Split(*vertices, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || id < 0 || id >= g.NumVertices() {
+				fatalf("bad vertex %q", tok)
+			}
+			v := rlc.Vertex(id)
+			fmt.Printf("\n%s:\n", g.VertexName(v))
+			fmt.Print("  Lin:  ")
+			printEntries(g, ix.LinEntries(v))
+			fmt.Print("  Lout: ")
+			printEntries(g, ix.LoutEntries(v))
+		}
+	}
+}
+
+func printEntries(g *rlc.Graph, entries []rlc.EntryView) {
+	if len(entries) == 0 {
+		fmt.Println("-")
+		return
+	}
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = fmt.Sprintf("(%s, %s)", g.VertexName(e.Hub), e.MR.Format(g.LabelNames()))
+	}
+	fmt.Println(strings.Join(parts, " "))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rlcinspect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command rlcquery evaluates RLC (and extended) queries against a graph,
+// with a choice of evaluation method.
+//
+//	rlcquery -graph g.graph -index g.rlc -s 14 -t 19 -expr "(debits credits)+"
+//	rlcquery -graph g.graph -method bibfs -s 0 -t 5 -expr "(l0 l1)+"
+//	rlcquery -graph g.graph -index g.rlc -queries g.queries
+//
+// Methods: index (default; builds the index on the fly when -index is not
+// given), hybrid (index + traversal, supports multi-segment expressions such
+// as "a+ b+"), bfs, bibfs, dfs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	rlc "github.com/g-rpqs/rlc-go"
+	"github.com/g-rpqs/rlc-go/internal/workload"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (required)")
+		indexPath = flag.String("index", "", "index file (built on the fly when omitted)")
+		k         = flag.Int("k", 2, "recursive k when building on the fly")
+		method    = flag.String("method", "index", "index, hybrid, bfs, bibfs, or dfs")
+		s         = flag.Int("s", -1, "source vertex id")
+		t         = flag.Int("t", -1, "target vertex id")
+		expr      = flag.String("expr", "", "path expression, e.g. \"(l0 l1)+\" or \"a+ b+\"")
+		queries   = flag.String("queries", "", "workload file from rlcgen (one query per line)")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatalf("missing -graph")
+	}
+	g, err := rlc.LoadGraphFile(*graphPath)
+	if err != nil {
+		fatalf("load graph: %v", err)
+	}
+
+	var ix *rlc.Index
+	if *method == "index" || *method == "hybrid" {
+		if *indexPath != "" {
+			ix, err = rlc.LoadIndexFile(*indexPath, g)
+		} else {
+			ix, err = rlc.BuildIndex(g, rlc.Options{K: *k})
+		}
+		if err != nil {
+			fatalf("index: %v", err)
+		}
+	}
+
+	switch {
+	case *queries != "":
+		if err := runWorkload(g, ix, *method, *queries); err != nil {
+			fatalf("%v", err)
+		}
+	case *expr != "" && *s >= 0 && *t >= 0:
+		ans, dur, err := runOne(g, ix, *method, rlc.Vertex(*s), rlc.Vertex(*t), *expr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(%d, %d, %s) = %v  [%s, %v]\n", *s, *t, *expr, ans, *method, dur)
+	default:
+		fatalf("need either -queries, or -s/-t/-expr")
+	}
+}
+
+func runOne(g *rlc.Graph, ix *rlc.Index, method string, s, t rlc.Vertex, exprText string) (bool, time.Duration, error) {
+	e, err := rlc.ParseExpr(exprText, g)
+	if err != nil {
+		return false, 0, err
+	}
+	start := time.Now()
+	var ans bool
+	switch method {
+	case "index":
+		if len(e.Segments) != 1 || !e.Segments[0].Plus {
+			return false, 0, fmt.Errorf("method index needs a single L+ segment; use -method hybrid for %q", exprText)
+		}
+		ans, err = ix.Query(s, t, e.Segments[0].Labels)
+	case "hybrid":
+		ans, err = rlc.NewHybridEvaluator(ix).Eval(s, t, e)
+	case "bfs", "bibfs", "dfs":
+		if len(e.Segments) != 1 || !e.Segments[0].Plus {
+			return false, 0, fmt.Errorf("method %s needs a single L+ segment", method)
+		}
+		switch method {
+		case "bfs":
+			ans, err = rlc.EvalBFS(g, s, t, e.Segments[0].Labels)
+		case "bibfs":
+			ans, err = rlc.EvalBiBFS(g, s, t, e.Segments[0].Labels)
+		case "dfs":
+			ans, err = rlc.EvalDFS(g, s, t, e.Segments[0].Labels)
+		}
+	default:
+		return false, 0, fmt.Errorf("unknown method %q", method)
+	}
+	return ans, time.Since(start), err
+}
+
+func runWorkload(g *rlc.Graph, ix *rlc.Index, method, path string) error {
+	wl, err := workload.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	qs := wl.All()
+
+	eval := func(q rlc.Query) (bool, error) {
+		switch method {
+		case "index":
+			return ix.Query(q.S, q.T, q.L)
+		case "bfs":
+			return rlc.EvalBFS(g, q.S, q.T, q.L)
+		case "bibfs":
+			return rlc.EvalBiBFS(g, q.S, q.T, q.L)
+		case "dfs":
+			return rlc.EvalDFS(g, q.S, q.T, q.L)
+		case "hybrid":
+			return rlc.NewHybridEvaluator(ix).Eval(q.S, q.T, rlc.PlusExpr(q.L))
+		default:
+			return false, fmt.Errorf("unknown method %q", method)
+		}
+	}
+
+	start := time.Now()
+	correct := 0
+	for _, q := range qs {
+		got, err := eval(q)
+		if err != nil {
+			return err
+		}
+		if got == q.Expected {
+			correct++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d queries in %v (%.1f µs/query) via %s; %d/%d match ground truth\n",
+		len(qs), elapsed, float64(elapsed.Microseconds())/float64(len(qs)), method, correct, len(qs))
+	if correct != len(qs) {
+		return fmt.Errorf("%d queries disagree with ground truth", len(qs)-correct)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rlcquery: "+format+"\n", args...)
+	os.Exit(1)
+}

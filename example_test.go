@@ -1,0 +1,109 @@
+package rlc_test
+
+import (
+	"fmt"
+
+	rlc "github.com/g-rpqs/rlc-go"
+)
+
+// Building an index and answering an RLC query.
+func ExampleBuildIndex() {
+	b := rlc.NewGraphBuilder(0, 0)
+	b.AddEdge(0, 0, 1) // 0 -l0-> 1
+	b.AddEdge(1, 1, 2) // 1 -l1-> 2
+	b.AddEdge(2, 0, 3) // 2 -l0-> 3
+	b.AddEdge(3, 1, 4) // 3 -l1-> 4
+	g := b.Build()
+
+	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	ok, _ := ix.Query(0, 4, rlc.Seq{0, 1})
+	fmt.Println(ok)
+	// Output: true
+}
+
+// Replaying the paper's Example 1 on the Figure 1 network.
+func ExampleIndex_Query() {
+	g := rlc.ExampleFig1()
+	ix, err := rlc.BuildIndex(g, rlc.Options{K: 3})
+	if err != nil {
+		panic(err)
+	}
+	a14, _ := g.VertexByName("A14")
+	a19, _ := g.VertexByName("A19")
+	debits, _ := g.LabelByName("debits")
+	credits, _ := g.LabelByName("credits")
+
+	ok, _ := ix.Query(a14, a19, rlc.Seq{debits, credits})
+	fmt.Println("Q1(A14, A19, (debits credits)+) =", ok)
+	// Output: Q1(A14, A19, (debits credits)+) = true
+}
+
+// Kleene-star queries reduce to plus after the s == t check.
+func ExampleIndex_QueryStar() {
+	g := rlc.ExampleFig2()
+	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	v6, _ := g.VertexByName("v6")
+	ok, _ := ix.QueryStar(v6, v6, rlc.Seq{0}) // empty path accepted
+	fmt.Println(ok)
+	// Output: true
+}
+
+// Parsing constraints from text against a graph's label names.
+func ExampleParseExpr() {
+	g := rlc.ExampleFig1()
+	e, err := rlc.ParseExpr("(knows worksFor)+", g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(e.Segments), e.Segments[0].Plus)
+	// Output: 1 true
+}
+
+// Extended queries (the Q4 shape) evaluate through the hybrid.
+func ExampleHybridEvaluator() {
+	g := rlc.ExampleFig1()
+	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	h := rlc.NewHybridEvaluator(ix)
+
+	knows, _ := g.LabelByName("knows")
+	holds, _ := g.LabelByName("holds")
+	p10, _ := g.VertexByName("P10")
+	a14, _ := g.VertexByName("A14")
+	ok, _ := h.Eval(p10, a14, rlc.ConcatPlusExpr(rlc.Seq{knows}, rlc.Seq{holds}))
+	fmt.Println("knows+ holds+ from P10 to A14 =", ok)
+	// Output: knows+ holds+ from P10 to A14 = true
+}
+
+// The minimum-repeat algebra at the heart of the index.
+func ExampleMinimumRepeat() {
+	fmt.Println(rlc.MinimumRepeat(rlc.Seq{0, 1, 0, 1}))
+	fmt.Println(rlc.IsMinimumRepeat(rlc.Seq{0, 1}), rlc.IsMinimumRepeat(rlc.Seq{0, 0}))
+	// Output:
+	// (l0,l1)
+	// true false
+}
+
+// Insert-only dynamic updates with exact answers.
+func ExampleDeltaGraph() {
+	g := rlc.GraphFromEdges(3, 2, []rlc.Edge{{Src: 0, Dst: 1, Label: 0}})
+	d, err := rlc.BuildDeltaGraph(g, rlc.DeltaOptions{IndexOptions: rlc.Options{K: 2}})
+	if err != nil {
+		panic(err)
+	}
+	before, _ := d.Query(0, 2, rlc.Seq{0, 1})
+	if err := d.AddEdge(1, 1, 2); err != nil {
+		panic(err)
+	}
+	after, _ := d.Query(0, 2, rlc.Seq{0, 1})
+	fmt.Println(before, after)
+	// Output: false true
+}

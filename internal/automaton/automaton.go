@@ -1,0 +1,273 @@
+// Package automaton builds the nondeterministic finite automata that guide
+// the online-traversal baselines of the paper (Section III-B): an RLC
+// constraint L+ = (l1 ... lk)+ compiles to a compact cyclic automaton, and
+// extended constraints such as a+ ∘ b+ (query Q4 of Section VI-C) compile to
+// a chain of such cycles.
+//
+// The state space is deliberately tiny (one state per label occurrence plus
+// one accept state), which is the minimal NFA for these expression shapes,
+// so no separate minimization pass is required.
+package automaton
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// Segment is one piece of a path expression: a concatenation of labels,
+// optionally under the Kleene plus. (a b)+ is {Labels: (a,b), Plus: true};
+// a bare label a is {Labels: (a), Plus: false}.
+type Segment struct {
+	Labels labelseq.Seq
+	Plus   bool
+}
+
+// Expr is a path expression: the concatenation of its segments. The paper's
+// RLC queries are single-segment expressions with Plus set; the extended
+// query Q4 is the two-segment expression a+ ∘ b+.
+type Expr struct {
+	Segments []Segment
+}
+
+// Plus returns the single-segment RLC expression L+.
+func Plus(l labelseq.Seq) Expr {
+	return Expr{Segments: []Segment{{Labels: l.Clone(), Plus: true}}}
+}
+
+// ConcatPlus returns the expression l1+ ∘ l2+ ∘ ... for the given segments.
+func ConcatPlus(ls ...labelseq.Seq) Expr {
+	e := Expr{}
+	for _, l := range ls {
+		e.Segments = append(e.Segments, Segment{Labels: l.Clone(), Plus: true})
+	}
+	return e
+}
+
+// String renders the expression with numeric labels, e.g. "(l0 l1)+ l2+".
+func (e Expr) String() string {
+	var b strings.Builder
+	for i, s := range e.Segments {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if len(s.Labels) == 1 {
+			fmt.Fprintf(&b, "l%d", s.Labels[0])
+		} else {
+			b.WriteByte('(')
+			for j, l := range s.Labels {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "l%d", l)
+			}
+			b.WriteByte(')')
+		}
+		if s.Plus {
+			b.WriteByte('+')
+		}
+	}
+	return b.String()
+}
+
+// State is an NFA state id. State 0 is always the start state.
+type State = int32
+
+// NFA is a nondeterministic automaton over edge labels with a single accept
+// state. The zero value is not usable; build one with Compile or NewPlus.
+type NFA struct {
+	numStates int
+	numLabels int
+	accept    State
+	// step[q*numLabels+l] is the bitset of states reachable from q on l.
+	// Automata built here have at most 63 states (enforced by Compile).
+	step []uint64
+	expr Expr
+}
+
+// MaxStates bounds the automaton size so state sets fit one uint64 word.
+// Expressions from the paper's workloads use at most k+1 states per segment
+// with k <= 4, far below the bound.
+const MaxStates = 63
+
+// ErrTooLarge reports an expression that exceeds MaxStates.
+var ErrTooLarge = errors.New("automaton: expression needs too many states")
+
+// ErrEmpty reports an expression with no labels.
+var ErrEmpty = errors.New("automaton: empty expression")
+
+// NewPlus compiles the RLC constraint L+ directly.
+func NewPlus(l labelseq.Seq, numLabels int) (*NFA, error) {
+	return Compile(Plus(l), numLabels)
+}
+
+// Compile builds the NFA for an expression over a label universe of size
+// numLabels. Within a segment (a1 ... am)+ the states form a cycle of
+// length m; completing the final segment reaches the accept state.
+func Compile(e Expr, numLabels int) (*NFA, error) {
+	if len(e.Segments) == 0 {
+		return nil, ErrEmpty
+	}
+	total := 0
+	for _, s := range e.Segments {
+		if len(s.Labels) == 0 {
+			return nil, ErrEmpty
+		}
+		for _, l := range s.Labels {
+			if l < 0 || int(l) >= numLabels {
+				return nil, fmt.Errorf("automaton: label %d outside universe of size %d", l, numLabels)
+			}
+		}
+		total += len(s.Labels)
+	}
+	if total+1 > MaxStates {
+		return nil, ErrTooLarge
+	}
+
+	n := &NFA{
+		numStates: total + 1,
+		numLabels: numLabels,
+		accept:    State(total),
+		step:      make([]uint64, (total+1)*numLabels),
+		expr:      e,
+	}
+	// segStart[i] is the state reading the first label of segment i.
+	segStart := make([]State, len(e.Segments)+1)
+	q := State(0)
+	for i, s := range e.Segments {
+		segStart[i] = q
+		q += State(len(s.Labels))
+	}
+	segStart[len(e.Segments)] = n.accept
+
+	q = 0
+	for i, s := range e.Segments {
+		m := len(s.Labels)
+		for j, l := range s.Labels {
+			from := q + State(j)
+			if j+1 < m {
+				n.addEdge(from, l, from+1)
+				continue
+			}
+			// Completing the segment: loop back when Plus, and move on
+			// (to the next segment start, or accept).
+			if s.Plus {
+				n.addEdge(from, l, segStart[i])
+			}
+			n.addEdge(from, l, segStart[i+1])
+		}
+		q += State(m)
+	}
+	return n, nil
+}
+
+func (n *NFA) addEdge(from State, l labelseq.Label, to State) {
+	n.step[int(from)*n.numLabels+int(l)] |= 1 << uint(to)
+}
+
+// NumStates returns the number of states including the accept state.
+func (n *NFA) NumStates() int { return n.numStates }
+
+// NumLabels returns the size of the label universe.
+func (n *NFA) NumLabels() int { return n.numLabels }
+
+// Accept returns the accept state.
+func (n *NFA) Accept() State { return n.accept }
+
+// Expr returns the expression the automaton was compiled from.
+func (n *NFA) Expr() Expr { return n.expr }
+
+// StartSet returns the bitset containing only the start state.
+func (n *NFA) StartSet() uint64 { return 1 }
+
+// AcceptSet returns the bitset containing only the accept state.
+func (n *NFA) AcceptSet() uint64 { return 1 << uint(n.accept) }
+
+// Step returns the states reachable from q on label l, as a bitset.
+func (n *NFA) Step(q State, l labelseq.Label) uint64 {
+	return n.step[int(q)*n.numLabels+int(l)]
+}
+
+// StepSet advances a whole state set on label l.
+func (n *NFA) StepSet(set uint64, l labelseq.Label) uint64 {
+	var out uint64
+	for s := set; s != 0; s &= s - 1 {
+		q := trailingZeros(s)
+		out |= n.step[q*n.numLabels+int(l)]
+	}
+	return out
+}
+
+// Accepts reports whether the automaton accepts the label sequence.
+func (n *NFA) Accepts(seq labelseq.Seq) bool {
+	set := n.StartSet()
+	for _, l := range seq {
+		if l < 0 || int(l) >= n.numLabels {
+			return false
+		}
+		set = n.StepSet(set, l)
+		if set == 0 {
+			return false
+		}
+	}
+	return set&n.AcceptSet() != 0
+}
+
+// ReverseState maps an original state id to the id of the corresponding
+// state in Reverse()'s automaton (the involution that swaps the start and
+// accept ids and fixes everything else). Bidirectional searches use it to
+// detect frontier meetings.
+func (n *NFA) ReverseState(q State) State {
+	switch q {
+	case 0:
+		return n.accept
+	case n.accept:
+		return 0
+	}
+	return q
+}
+
+// Reverse returns the automaton with all transitions reversed, its start at
+// the original accept state, and its accept at the original start state.
+// Backward searches (and the backward half of BiBFS) run on the reverse.
+// State q of the original corresponds to state ReverseState(q) of the
+// result.
+func (n *NFA) Reverse() *NFA {
+	r := &NFA{
+		numStates: n.numStates,
+		numLabels: n.numLabels,
+		// Original start state is 0; it becomes the reverse accept.
+		accept: 0,
+		step:   make([]uint64, len(n.step)),
+		expr:   n.expr,
+	}
+	// In the reversed automaton the start must be the original accept.
+	// Renumber states so the original accept becomes 0 and the original
+	// start becomes the reverse accept: swap ids 0 and n.accept.
+	ren := func(q State) State {
+		switch q {
+		case 0:
+			return n.accept
+		case n.accept:
+			return 0
+		default:
+			return q
+		}
+	}
+	r.accept = ren(0)
+	for q := 0; q < n.numStates; q++ {
+		for l := 0; l < n.numLabels; l++ {
+			targets := n.step[q*n.numLabels+l]
+			for s := targets; s != 0; s &= s - 1 {
+				to := State(trailingZeros(s))
+				r.step[int(ren(to))*n.numLabels+l] |= 1 << uint(ren(State(q)))
+			}
+		}
+	}
+	return r
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,228 @@
+package automaton
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// regexOf renders an expression as a stdlib regexp over letters
+// ('a' + label), anchored, for cross-validation.
+func regexOf(e Expr) *regexp.Regexp {
+	var b strings.Builder
+	b.WriteString(`\A`)
+	for _, s := range e.Segments {
+		b.WriteString("(?:")
+		for _, l := range s.Labels {
+			b.WriteByte(byte('a' + l))
+		}
+		b.WriteString(")")
+		if s.Plus {
+			b.WriteString("+")
+		}
+	}
+	b.WriteString(`\z`)
+	return regexp.MustCompile(b.String())
+}
+
+func wordOf(seq labelseq.Seq) string {
+	var b strings.Builder
+	for _, l := range seq {
+		b.WriteByte(byte('a' + l))
+	}
+	return b.String()
+}
+
+func TestPlusAutomatonBasics(t *testing.T) {
+	n, err := NewPlus(labelseq.Seq{0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		seq  labelseq.Seq
+		want bool
+	}{
+		{labelseq.Seq{}, false},
+		{labelseq.Seq{0}, false},
+		{labelseq.Seq{0, 1}, true},
+		{labelseq.Seq{1, 0}, false},
+		{labelseq.Seq{0, 1, 0}, false},
+		{labelseq.Seq{0, 1, 0, 1}, true},
+		{labelseq.Seq{0, 1, 0, 1, 0, 1}, true},
+		{labelseq.Seq{0, 2, 0, 1}, false},
+	}
+	for _, c := range cases {
+		if got := n.Accepts(c.seq); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestAcceptsMatchesRegexpRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	exprs := []Expr{
+		Plus(labelseq.Seq{0}),
+		Plus(labelseq.Seq{0, 1}),
+		Plus(labelseq.Seq{0, 1, 2}),
+		Plus(labelseq.Seq{1, 1, 0}),
+		ConcatPlus(labelseq.Seq{0}, labelseq.Seq{1}),
+		ConcatPlus(labelseq.Seq{0, 1}, labelseq.Seq{2}),
+		{Segments: []Segment{{Labels: labelseq.Seq{0}, Plus: false}, {Labels: labelseq.Seq{1}, Plus: true}}},
+		{Segments: []Segment{{Labels: labelseq.Seq{0, 2}, Plus: false}}},
+	}
+	for _, e := range exprs {
+		nfa, err := Compile(e, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		re := regexOf(e)
+		for i := 0; i < 3000; i++ {
+			seq := make(labelseq.Seq, r.Intn(10))
+			for j := range seq {
+				seq[j] = labelseq.Label(r.Intn(3))
+			}
+			got := nfa.Accepts(seq)
+			want := re.MatchString(wordOf(seq))
+			if got != want {
+				t.Fatalf("expr %v, seq %v: automaton=%v regexp=%v", e, seq, got, want)
+			}
+		}
+	}
+}
+
+func TestReverseAcceptsReversedWords(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	exprs := []Expr{
+		Plus(labelseq.Seq{0, 1}),
+		ConcatPlus(labelseq.Seq{0}, labelseq.Seq{1, 2}),
+		Plus(labelseq.Seq{2}),
+	}
+	for _, e := range exprs {
+		nfa, err := Compile(e, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev := nfa.Reverse()
+		for i := 0; i < 3000; i++ {
+			seq := make(labelseq.Seq, r.Intn(9))
+			for j := range seq {
+				seq[j] = labelseq.Label(r.Intn(3))
+			}
+			rseq := make(labelseq.Seq, len(seq))
+			for j := range seq {
+				rseq[len(seq)-1-j] = seq[j]
+			}
+			if nfa.Accepts(seq) != rev.Accepts(rseq) {
+				t.Fatalf("expr %v: seq %v accepted=%v but reverse(%v)=%v",
+					e, seq, nfa.Accepts(seq), rseq, rev.Accepts(rseq))
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(Expr{}, 2); err == nil {
+		t.Error("empty expression should fail")
+	}
+	if _, err := Compile(Expr{Segments: []Segment{{Labels: labelseq.Seq{}}}}, 2); err == nil {
+		t.Error("empty segment should fail")
+	}
+	if _, err := Compile(Plus(labelseq.Seq{5}), 2); err == nil {
+		t.Error("out-of-universe label should fail")
+	}
+	big := make(labelseq.Seq, MaxStates+1)
+	if _, err := Compile(Plus(big), 1); err == nil {
+		t.Error("oversized expression should fail")
+	}
+}
+
+func TestAcceptsRejectsForeignLabels(t *testing.T) {
+	n, err := NewPlus(labelseq.Seq{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Accepts(labelseq.Seq{7}) {
+		t.Error("label outside universe must be rejected")
+	}
+	if n.Accepts(labelseq.Seq{-1}) {
+		t.Error("negative label must be rejected")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := ConcatPlus(labelseq.Seq{0, 1}, labelseq.Seq{2})
+	if got := e.String(); got != "(l0 l1)+ l2+" {
+		t.Errorf("String = %q", got)
+	}
+	plain := Expr{Segments: []Segment{{Labels: labelseq.Seq{1}}}}
+	if got := plain.String(); got != "l1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"l0+", "l0+"},
+		{"(l0 l1)+", "(l0 l1)+"},
+		{"l0+ l1+", "l0+ l1+"},
+		{"(l0 l1)+ l2+", "(l0 l1)+ l2+"},
+		{"0+", "l0+"},
+		{"(2 0)+", "(l2 l0)+"},
+		{"l1", "l1"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in, NumericLabels)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "(l0", "()+", "wat+", "(l0 nope)+"} {
+		if _, err := Parse(in, NumericLabels); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseRoundTripsThroughString(t *testing.T) {
+	exprs := []Expr{
+		Plus(labelseq.Seq{0}),
+		Plus(labelseq.Seq{0, 1, 2}),
+		ConcatPlus(labelseq.Seq{0, 1}, labelseq.Seq{2}),
+	}
+	for _, e := range exprs {
+		back, err := Parse(e.String(), NumericLabels)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e.String(), err)
+		}
+		if back.String() != e.String() {
+			t.Errorf("round trip %q -> %q", e.String(), back.String())
+		}
+	}
+}
+
+func TestStepSetEmpty(t *testing.T) {
+	n, err := NewPlus(labelseq.Seq{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.StepSet(0, 0) != 0 {
+		t.Error("stepping the empty set should stay empty")
+	}
+	// From start, label 1 has no transition.
+	if n.StepSet(n.StartSet(), 1) != 0 {
+		t.Error("invalid label from start should yield empty set")
+	}
+}

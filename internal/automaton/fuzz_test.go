@@ -1,0 +1,48 @@
+package automaton
+
+import (
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// FuzzParse hardens the expression parser: arbitrary input must either
+// produce a parse error or an expression that compiles and round-trips.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"l0+", "(l0 l1)+", "l0+ l1+", "(l0 l1)+ l2+", "l1", "(2 0)+",
+		"", "(", ")+", "((", "l0++", "a b c", "(l0", "+", "l0 (l1)+",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input, NumericLabels)
+		if err != nil {
+			return
+		}
+		// A successful parse must render and re-parse to the same shape.
+		back, err := Parse(e.String(), NumericLabels)
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", input, e.String(), err)
+		}
+		if back.String() != e.String() {
+			t.Fatalf("round trip changed %q -> %q", e.String(), back.String())
+		}
+		// And must compile whenever its labels fit a universe.
+		maxLabel := labelseq.Label(-1)
+		total := 0
+		for _, seg := range e.Segments {
+			total += len(seg.Labels)
+			for _, l := range seg.Labels {
+				if l > maxLabel {
+					maxLabel = l
+				}
+			}
+		}
+		if maxLabel >= 0 && maxLabel < 1000 && total+1 <= MaxStates {
+			if _, err := Compile(e, int(maxLabel)+1); err != nil {
+				t.Fatalf("parsed expression %q does not compile: %v", e.String(), err)
+			}
+		}
+	})
+}

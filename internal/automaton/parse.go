@@ -1,0 +1,101 @@
+package automaton
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// Parse reads a path expression in the tool syntax used by the CLIs and
+// examples. Labels are whitespace-separated tokens; a parenthesized group or
+// single label may carry a '+' suffix:
+//
+//	"(debits credits)+"     the RLC constraint of Example 1
+//	"knows+"                a single-label RLC constraint
+//	"a+ b+"                 the extended query Q4
+//	"(a b)+ c+"             mixed segments
+//
+// resolve maps a label token to its id; pass a graph-backed resolver or
+// NumericLabels for "l0"/"0"-style tokens.
+func Parse(s string, resolve func(string) (labelseq.Label, bool)) (Expr, error) {
+	var e Expr
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		var seg Segment
+		var err error
+		seg, rest, err = parseSegment(rest, resolve)
+		if err != nil {
+			return Expr{}, err
+		}
+		e.Segments = append(e.Segments, seg)
+	}
+	if len(e.Segments) == 0 {
+		return Expr{}, fmt.Errorf("automaton: empty expression %q", s)
+	}
+	return e, nil
+}
+
+func parseSegment(s string, resolve func(string) (labelseq.Label, bool)) (Segment, string, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") {
+		close := strings.IndexByte(s, ')')
+		if close < 0 {
+			return Segment{}, "", fmt.Errorf("automaton: unclosed '(' in %q", s)
+		}
+		inner := s[1:close]
+		rest := s[close+1:]
+		plus := false
+		if strings.HasPrefix(rest, "+") {
+			plus = true
+			rest = rest[1:]
+		}
+		labels, err := parseLabels(strings.Fields(inner), resolve)
+		if err != nil {
+			return Segment{}, "", err
+		}
+		if len(labels) == 0 {
+			return Segment{}, "", fmt.Errorf("automaton: empty group in %q", s)
+		}
+		return Segment{Labels: labels, Plus: plus}, rest, nil
+	}
+	// A bare token, optionally with a '+' suffix.
+	end := strings.IndexAny(s, " \t(")
+	var tok, rest string
+	if end < 0 {
+		tok, rest = s, ""
+	} else {
+		tok, rest = s[:end], s[end:]
+	}
+	plus := strings.HasSuffix(tok, "+")
+	tok = strings.TrimSuffix(tok, "+")
+	labels, err := parseLabels([]string{tok}, resolve)
+	if err != nil {
+		return Segment{}, "", err
+	}
+	return Segment{Labels: labels, Plus: plus}, rest, nil
+}
+
+func parseLabels(toks []string, resolve func(string) (labelseq.Label, bool)) (labelseq.Seq, error) {
+	var out labelseq.Seq
+	for _, t := range toks {
+		l, ok := resolve(t)
+		if !ok {
+			return nil, fmt.Errorf("automaton: unknown label %q", t)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// NumericLabels resolves tokens of the form "l3" or "3" to label 3. Use it
+// when the graph has no label names.
+func NumericLabels(tok string) (labelseq.Label, bool) {
+	t := strings.TrimPrefix(tok, "l")
+	n, err := strconv.Atoi(t)
+	if err != nil || n < 0 {
+		return labelseq.NoLabel, false
+	}
+	return labelseq.Label(n), true
+}

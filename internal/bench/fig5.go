@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/gen"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/workload"
+)
+
+// RunFig5 reproduces Figure 5: indexing time, index size and query time on
+// ER- and BA-graphs with a fixed number of vertices, sweeping the average
+// degree d and the label-set size |L| (k = 2, 2-label workloads).
+func RunFig5(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	var tables []*Table
+	for _, model := range []string{"ER", "BA"} {
+		t := &Table{
+			ID:    "fig5-" + model,
+			Title: fmt.Sprintf("%s-graphs, |V| = %d, varying d and |L| (k = 2)", model, cfg.SynthVertices),
+			Columns: []string{
+				"d", "|L|", "IT (s)", "IS (MB)",
+				"QT true (ms)", "QT false (ms)",
+			},
+		}
+		for _, d := range cfg.Degrees {
+			for _, labels := range cfg.LabelSizes {
+				cfg.progressf("fig5: %s d=%d |L|=%d", model, d, labels)
+				g, err := synth(model, cfg.SynthVertices, d, labels, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig5: %s d=%d L=%d: %w", model, d, labels, err)
+				}
+				row, err := indexAndMeasure(cfg, g, 2, 2)
+				if err != nil {
+					return nil, fmt.Errorf("fig5: %s d=%d L=%d: %w", model, d, labels, err)
+				}
+				t.Rows = append(t.Rows, append([]string{fmt.Sprintf("%d", d), fmt.Sprintf("%d", labels)}, row...))
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// synth builds an ER- or BA-graph with the requested average degree.
+func synth(model string, n, avgDegree, labels int, seed int64) (*graph.Graph, error) {
+	switch model {
+	case "ER":
+		return gen.ER(n, n*avgDegree, labels, seed)
+	case "BA":
+		return gen.BA(n, avgDegree, labels, seed)
+	default:
+		return nil, fmt.Errorf("bench: unknown synthetic model %q", model)
+	}
+}
+
+// indexAndMeasure builds an index with the given k, generates a workload of
+// the given concatenation length, and returns the IT/IS/QT cells.
+func indexAndMeasure(cfg Config, g *graph.Graph, k, concatLen int) ([]string, error) {
+	start := time.Now()
+	ix, err := core.Build(g, core.Options{K: k})
+	if err != nil {
+		return nil, err
+	}
+	it := time.Since(start)
+
+	w, err := buildWorkload(cfg, g, concatLen)
+	if err != nil {
+		return nil, err
+	}
+	qtTrue, err := timeQuerySet(w.True, 0, func(q workload.Query) (bool, error) {
+		return ix.Query(q.S, q.T, q.L)
+	})
+	if err != nil {
+		return nil, err
+	}
+	qtFalse, err := timeQuerySet(w.False, 0, func(q workload.Query) (bool, error) {
+		return ix.Query(q.S, q.T, q.L)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []string{
+		fmtSeconds(it), fmtMB(ix.SizeBytes()),
+		fmt.Sprintf("%.3f", float64(qtTrue.Microseconds())/1000),
+		fmt.Sprintf("%.3f", float64(qtFalse.Microseconds())/1000),
+	}, nil
+}

@@ -1,0 +1,35 @@
+package bench
+
+import "fmt"
+
+// RunFig6 reproduces Figure 6: scalability of indexing time, index size and
+// query time as |V| grows, for ER- and BA-graphs with d = 5 and |L| = 16
+// (k = 2, 2-label workloads).
+func RunFig6(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	var tables []*Table
+	for _, model := range []string{"ER", "BA"} {
+		t := &Table{
+			ID:    "fig6-" + model,
+			Title: fmt.Sprintf("%s-graphs, d = 5, |L| = 16, varying |V| (k = 2)", model),
+			Columns: []string{
+				"|V|", "IT (s)", "IS (MB)",
+				"QT true (ms)", "QT false (ms)",
+			},
+		}
+		for _, n := range cfg.Fig6Vertices {
+			cfg.progressf("fig6: %s |V|=%d", model, n)
+			g, err := synth(model, n, 5, 16, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig6: %s n=%d: %w", model, n, err)
+			}
+			row, err := indexAndMeasure(cfg, g, 2, 2)
+			if err != nil {
+				return nil, fmt.Errorf("fig6: %s n=%d: %w", model, n, err)
+			}
+			t.Rows = append(t.Rows, append([]string{fmtCount(int64(n))}, row...))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/workload"
+)
+
+// RunFig7 reproduces Figure 7 (Appendix C): the impact of the recursive k
+// on indexing time, index size and query time for ER- and BA-graphs with
+// d = 5 and |L| = 16. One 2-label query set per graph is evaluated with
+// each index, matching the appendix's setup.
+func RunFig7(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "fig7",
+		Title: fmt.Sprintf("Impact of k on synthetic graphs (|V| = %d, d = 5, |L| = 16)", cfg.Fig7Vertices),
+		Columns: []string{
+			"Model", "k", "IT (s)", "IS (MB)", "Entries",
+			"QT true (ms)", "QT false (ms)",
+		},
+	}
+	for _, model := range []string{"ER", "BA"} {
+		g, err := synth(model, cfg.Fig7Vertices, 5, 16, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig7: %s: %w", model, err)
+		}
+		w, err := buildWorkload(cfg, g, 2)
+		if err != nil {
+			return nil, fmt.Errorf("fig7: %s: %w", model, err)
+		}
+		for _, k := range cfg.KSweep {
+			cfg.progressf("fig7: %s k=%d", model, k)
+			start := time.Now()
+			ix, err := core.Build(g, core.Options{K: k})
+			if err != nil {
+				return nil, fmt.Errorf("fig7: %s k=%d: %w", model, k, err)
+			}
+			it := time.Since(start)
+			qtTrue, err := timeQuerySet(w.True, 0, func(q workload.Query) (bool, error) {
+				return ix.Query(q.S, q.T, q.L)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7: %s k=%d: %w", model, k, err)
+			}
+			qtFalse, err := timeQuerySet(w.False, 0, func(q workload.Query) (bool, error) {
+				return ix.Query(q.S, q.T, q.L)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7: %s k=%d: %w", model, k, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				model, fmt.Sprintf("%d", k),
+				fmtSeconds(it), fmtMB(ix.SizeBytes()), fmtCount(ix.NumEntries()),
+				fmt.Sprintf("%.3f", float64(qtTrue.Microseconds())/1000),
+				fmt.Sprintf("%.3f", float64(qtFalse.Microseconds())/1000),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,299 @@
+// Package core implements the RLC index — the paper's primary contribution
+// (Sections IV and V): a 2-hop-style reachability index for recursive
+// label-concatenated (RLC) queries (s, t, L+), where L is a concatenation of
+// at most k edge labels under the Kleene plus.
+//
+// Every vertex v carries two entry sets (Definition 4):
+//
+//	Lin(v)  = {(u, L) | u ⇝ v, L ∈ Sk(u, v)}
+//	Lout(v) = {(w, L) | v ⇝ w, L ∈ Sk(v, w)}
+//
+// where Sk(u, v) is the concise set of k-MRs of label sequences of paths
+// from u to v. A query (s, t, L+) holds iff a hub x carries matching entries
+// in Lout(s) and Lin(t), or a direct entry exists (Algorithm 1).
+//
+// The index is built by Algorithm 2: for every vertex in IN-OUT order, a
+// backward and a forward kernel-based search (KBS), each consisting of a
+// kernel-search phase (all label sequences up to length k) and a kernel-BFS
+// phase (guided by the Kleene plus of each kernel candidate), with pruning
+// rules PR1-PR3 making the index condensed (Definition 5, Theorem 2) while
+// preserving soundness and completeness (Theorem 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// MaxK bounds the recursive k accepted by Build. Real workloads use k <= 4
+// (Section VI); 8 leaves generous headroom while keeping packed sequence
+// codes in one machine word for typical label-set sizes.
+const MaxK = 8
+
+// DefaultK is the recursive k used when Options.K is zero — the value the
+// paper identifies as covering practical query logs (Section VI-A).
+const DefaultK = 2
+
+// Errors returned by Build and Query.
+var (
+	ErrNotMinimumRepeat  = errors.New("rlc: query constraint is not a minimum repeat (L != MR(L)); the even-path fragment is out of scope")
+	ErrConstraintTooLong = errors.New("rlc: query constraint longer than the index's recursive k")
+	ErrUnknownLabel      = errors.New("rlc: constraint uses a label outside the graph's label set")
+	ErrVertexRange       = errors.New("rlc: vertex id out of range")
+	ErrEmptyConstraint   = errors.New("rlc: empty constraint")
+)
+
+// Order selects the vertex processing order of Algorithm 2. The paper uses
+// OrderInOut; the alternatives exist for the ordering ablation (they change
+// index size and build time, never correctness).
+type Order uint8
+
+const (
+	// OrderInOut sorts by (|out(v)|+1)*(|in(v)|+1) descending — the
+	// IN-OUT strategy of Section V-B.
+	OrderInOut Order = iota
+	// OrderDegreeSum sorts by |out(v)|+|in(v)| descending.
+	OrderDegreeSum
+	// OrderNatural processes vertices by ascending id.
+	OrderNatural
+	// OrderReverse processes vertices by descending id — a deliberately
+	// bad order for the ablation.
+	OrderReverse
+)
+
+// Options configures Build.
+type Options struct {
+	// K is the recursive k: the maximum number of concatenated labels in
+	// a supported constraint. Zero means DefaultK.
+	K int
+
+	// Order is the vertex processing order; zero value is the paper's
+	// IN-OUT strategy.
+	Order Order
+
+	// DisablePR1/2/3 switch off the corresponding pruning rule. The index
+	// remains sound and complete with any combination disabled (it only
+	// grows and takes longer to build); the flags exist for the ablation
+	// benchmarks and for the robustness property tests.
+	DisablePR1 bool
+	DisablePR2 bool
+	DisablePR3 bool
+}
+
+func (o Options) k() int {
+	if o.K == 0 {
+		return DefaultK
+	}
+	return o.K
+}
+
+// entry is one index entry: the hub's access rank (0-based position in the
+// IN-OUT order, so lists sort ascending by construction) and the interned
+// minimum repeat. 8 bytes per entry, matching the paper's (vid, mr) schema.
+type entry struct {
+	hub int32
+	mr  labelseq.ID
+}
+
+// Index is an immutable RLC index over a fixed graph. Queries are safe for
+// concurrent use; building is not concurrent.
+type Index struct {
+	g    *graph.Graph
+	k    int
+	opts Options
+
+	dict  *labelseq.Dict
+	order []graph.Vertex // rank -> vertex id
+	rank  []int32        // vertex id -> rank
+
+	in  [][]entry // Lin(v), indexed by vertex id
+	out [][]entry // Lout(v)
+}
+
+// Graph returns the graph the index was built over.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// K returns the recursive k the index supports.
+func (ix *Index) K() int { return ix.k }
+
+// AccessOrder returns the IN-OUT vertex order used during construction;
+// element i is the vertex with access id i+1 in the paper's numbering.
+func (ix *Index) AccessOrder() []graph.Vertex { return ix.order }
+
+// NumEntries returns the total number of index entries across all Lin and
+// Lout sets.
+func (ix *Index) NumEntries() int64 {
+	var total int64
+	for v := range ix.in {
+		total += int64(len(ix.in[v]) + len(ix.out[v]))
+	}
+	return total
+}
+
+// SizeBytes estimates the resident size of the index: 8 bytes per entry
+// plus the minimum-repeat dictionary, mirroring how the paper reports index
+// size.
+func (ix *Index) SizeBytes() int64 {
+	size := ix.NumEntries() * 8
+	for i := 0; i < ix.dict.Len(); i++ {
+		size += int64(len(ix.dict.Seq(labelseq.ID(i))))*4 + 16
+	}
+	// Per-vertex slice headers.
+	size += int64(len(ix.in)+len(ix.out)) * 24
+	return size
+}
+
+// Stats summarizes an index for reporting.
+type Stats struct {
+	K           int
+	Vertices    int
+	Edges       int
+	Entries     int64
+	InEntries   int64
+	OutEntries  int64
+	DistinctMRs int
+	SizeBytes   int64
+}
+
+// Stats returns summary statistics.
+func (ix *Index) Stats() Stats {
+	var in, out int64
+	for v := range ix.in {
+		in += int64(len(ix.in[v]))
+		out += int64(len(ix.out[v]))
+	}
+	return Stats{
+		K:           ix.k,
+		Vertices:    ix.g.NumVertices(),
+		Edges:       ix.g.NumEdges(),
+		Entries:     in + out,
+		InEntries:   in,
+		OutEntries:  out,
+		DistinctMRs: ix.dict.Len(),
+		SizeBytes:   ix.SizeBytes(),
+	}
+}
+
+// EntryView is a decoded index entry for inspection, validation and tests.
+type EntryView struct {
+	Hub graph.Vertex
+	MR  labelseq.Seq
+}
+
+// LinEntries returns the decoded Lin(v) set.
+func (ix *Index) LinEntries(v graph.Vertex) []EntryView { return ix.decode(ix.in[v]) }
+
+// LoutEntries returns the decoded Lout(v) set.
+func (ix *Index) LoutEntries(v graph.Vertex) []EntryView { return ix.decode(ix.out[v]) }
+
+func (ix *Index) decode(list []entry) []EntryView {
+	out := make([]EntryView, len(list))
+	for i, e := range list {
+		out[i] = EntryView{Hub: ix.order[e.hub], MR: ix.dict.Seq(e.mr).Clone()}
+	}
+	return out
+}
+
+// Query answers the RLC query (s, t, L+) — Algorithm 1. The constraint must
+// be a minimum repeat of length at most K() over the graph's labels;
+// otherwise an error describes the violation.
+func (ix *Index) Query(s, t graph.Vertex, l labelseq.Seq) (bool, error) {
+	if err := ix.checkQuery(s, t, l); err != nil {
+		return false, err
+	}
+	mr := ix.dict.Lookup(l)
+	if mr == labelseq.InvalidID {
+		// No path anywhere in the graph has this k-MR, or it would have
+		// been interned during construction.
+		return false, nil
+	}
+	return ix.queryByID(s, t, mr), nil
+}
+
+// QueryStar answers the Kleene-star variant (s, t, L*), which reduces to the
+// plus query after the s == t check (Section III-B).
+func (ix *Index) QueryStar(s, t graph.Vertex, l labelseq.Seq) (bool, error) {
+	if err := ix.checkQuery(s, t, l); err != nil {
+		return false, err
+	}
+	if s == t {
+		return true, nil
+	}
+	return ix.Query(s, t, l)
+}
+
+func (ix *Index) checkQuery(s, t graph.Vertex, l labelseq.Seq) error {
+	if s < 0 || int(s) >= ix.g.NumVertices() || t < 0 || int(t) >= ix.g.NumVertices() {
+		return fmt.Errorf("%w: s=%d t=%d n=%d", ErrVertexRange, s, t, ix.g.NumVertices())
+	}
+	if len(l) == 0 {
+		return ErrEmptyConstraint
+	}
+	if len(l) > ix.k {
+		return fmt.Errorf("%w: |L|=%d > k=%d", ErrConstraintTooLong, len(l), ix.k)
+	}
+	for _, lab := range l {
+		if lab < 0 || int(lab) >= ix.g.NumLabels() {
+			return fmt.Errorf("%w: label %d, |L|=%d", ErrUnknownLabel, lab, ix.g.NumLabels())
+		}
+	}
+	if !labelseq.IsPrimitive(l) {
+		return fmt.Errorf("%w: %v", ErrNotMinimumRepeat, l)
+	}
+	return nil
+}
+
+// queryByID is the hot path shared by the public Query and the PR1 check
+// during construction: Case 2 (direct entries) then Case 1 (merge join).
+func (ix *Index) queryByID(s, t graph.Vertex, mr labelseq.ID) bool {
+	if hasEntry(ix.out[s], ix.rank[t], mr) || hasEntry(ix.in[t], ix.rank[s], mr) {
+		return true
+	}
+	return joinHas(ix.out[s], ix.in[t], mr)
+}
+
+// hasEntry reports whether list (sorted by hub) contains (hub, mr).
+func hasEntry(list []entry, hub int32, mr labelseq.ID) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i].hub >= hub })
+	for ; i < len(list) && list[i].hub == hub; i++ {
+		if list[i].mr == mr {
+			return true
+		}
+	}
+	return false
+}
+
+// joinHas merge-joins two hub-sorted entry lists and reports whether some
+// hub carries mr on both sides — Case 1 of Definition 4.
+func joinHas(a, b []entry, mr labelseq.ID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].hub < b[j].hub:
+			i++
+		case a[i].hub > b[j].hub:
+			j++
+		default:
+			hub := a[i].hub
+			foundA, foundB := false, false
+			for ; i < len(a) && a[i].hub == hub; i++ {
+				if a[i].mr == mr {
+					foundA = true
+				}
+			}
+			for ; j < len(b) && b[j].hub == hub; j++ {
+				if b[j].mr == mr {
+					foundB = true
+				}
+			}
+			if foundA && foundB {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// TestGoldenFormatStability pins the serialization format: an index file
+// written by version 1 of the format (checked into testdata) must keep
+// loading and answering correctly forever. Bump the format version rather
+// than regenerate this file.
+func TestGoldenFormatStability(t *testing.T) {
+	g := graph.Fig2()
+	data, err := os.ReadFile(filepath.Join("testdata", "fig2_k2_v1.rlc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Load(bytes.NewReader(data), g)
+	if err != nil {
+		t.Fatalf("golden file no longer loads — the format changed without a version bump: %v", err)
+	}
+	if ix.K() != 2 {
+		t.Errorf("golden k = %d", ix.K())
+	}
+	// Example 4's answers from the golden index.
+	v := func(name string) graph.Vertex { id, _ := g.VertexByName(name); return id }
+	ok, err := ix.Query(v("v3"), v("v6"), labelseq.Seq{1, 0})
+	if err != nil || !ok {
+		t.Errorf("golden Q1 = %v, %v", ok, err)
+	}
+	ok, err = ix.Query(v("v1"), v("v3"), labelseq.Seq{0})
+	if err != nil || ok {
+		t.Errorf("golden Q3 = %v, %v", ok, err)
+	}
+	if err := ix.ValidateComplete(); err != nil {
+		t.Errorf("golden index incomplete: %v", err)
+	}
+
+	// A fresh build must serialize byte-identically (determinism pin).
+	fresh, err := Build(g, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Error("fresh build of Fig. 2 serializes differently from the golden file — construction or format drifted")
+	}
+}

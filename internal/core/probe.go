@@ -1,0 +1,121 @@
+package core
+
+import (
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// TargetProbe precomputes the target side of Query(·, t, L+) so that many
+// candidate sources can be tested with one pass over their Lout list each.
+// The hybrid evaluator of extended queries (Q4-style, Section VI-C) probes
+// every frontier vertex against a fixed (t, L+), which this amortizes.
+type TargetProbe struct {
+	ix    *Index
+	mr    labelseq.ID
+	rankT int32
+	// hubs is a bitmap over access ranks: bit h set iff (hub h, L) ∈
+	// Lin(t). Case 1 tests Lout(s) hubs against it; case 2 tests rank(s)
+	// itself (an entry (s, L) ∈ Lin(t) has hub rank(s)).
+	hubs  []uint64
+	valid bool
+}
+
+// NewTargetProbe prepares a probe for Query(·, t, l). The constraint is
+// validated like a regular query (with s := t, which shares the same vertex
+// check).
+func (ix *Index) NewTargetProbe(t graph.Vertex, l labelseq.Seq) (*TargetProbe, error) {
+	if err := ix.checkQuery(t, t, l); err != nil {
+		return nil, err
+	}
+	p := &TargetProbe{ix: ix, rankT: ix.rank[t]}
+	p.mr = ix.dict.Lookup(l)
+	if p.mr == labelseq.InvalidID {
+		// No path in the graph carries this k-MR: every probe is false.
+		return p, nil
+	}
+	p.valid = true
+	p.hubs = make([]uint64, (ix.g.NumVertices()+63)/64)
+	for _, e := range ix.in[t] {
+		if e.mr == p.mr {
+			p.hubs[e.hub>>6] |= 1 << uint(e.hub&63)
+		}
+	}
+	return p, nil
+}
+
+// Reaches reports whether Query(s, t, L+) holds, in one pass over Lout(s).
+func (p *TargetProbe) Reaches(s graph.Vertex) bool {
+	if !p.valid {
+		return false
+	}
+	// Case 2: (s, L) ∈ Lin(t).
+	rs := p.ix.rank[s]
+	if p.hubs[rs>>6]&(1<<uint(rs&63)) != 0 {
+		return true
+	}
+	for _, e := range p.ix.out[s] {
+		if e.mr != p.mr {
+			continue
+		}
+		// Case 2: (t, L) ∈ Lout(s); Case 1: shared hub with Lin(t).
+		if e.hub == p.rankT || p.hubs[e.hub>>6]&(1<<uint(e.hub&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SourceProbe is the mirror of TargetProbe: it precomputes the source side
+// of Query(s, ·, L+) so that many candidate targets can be tested with one
+// pass over their Lin list each.
+type SourceProbe struct {
+	ix    *Index
+	mr    labelseq.ID
+	rankS int32
+	// hubs is a bitmap over access ranks: bit h set iff (hub h, L) ∈
+	// Lout(s).
+	hubs  []uint64
+	valid bool
+}
+
+// NewSourceProbe prepares a probe for Query(s, ·, l).
+func (ix *Index) NewSourceProbe(s graph.Vertex, l labelseq.Seq) (*SourceProbe, error) {
+	if err := ix.checkQuery(s, s, l); err != nil {
+		return nil, err
+	}
+	p := &SourceProbe{ix: ix, rankS: ix.rank[s]}
+	p.mr = ix.dict.Lookup(l)
+	if p.mr == labelseq.InvalidID {
+		return p, nil
+	}
+	p.valid = true
+	p.hubs = make([]uint64, (ix.g.NumVertices()+63)/64)
+	for _, e := range ix.out[s] {
+		if e.mr == p.mr {
+			p.hubs[e.hub>>6] |= 1 << uint(e.hub&63)
+		}
+	}
+	return p, nil
+}
+
+// Reaches reports whether Query(s, t, L+) holds, in one pass over Lin(t).
+func (p *SourceProbe) Reaches(t graph.Vertex) bool {
+	if !p.valid {
+		return false
+	}
+	// Case 2: (t, L) ∈ Lout(s).
+	rt := p.ix.rank[t]
+	if p.hubs[rt>>6]&(1<<uint(rt&63)) != 0 {
+		return true
+	}
+	for _, e := range p.ix.in[t] {
+		if e.mr != p.mr {
+			continue
+		}
+		// Case 2: (s, L) ∈ Lin(t); Case 1: shared hub with Lout(s).
+		if e.hub == p.rankS || p.hubs[e.hub>>6]&(1<<uint(e.hub&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}

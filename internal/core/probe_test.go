@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// TestTargetProbeAgreesWithQuery: Reaches(s) must equal Query(s, t, L+) for
+// every source, target and constraint.
+func TestTargetProbeAgreesWithQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(500))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(10)
+		g := randomGraph(r, n, 2, 3*n)
+		ix := mustBuild(t, g, Options{K: 2})
+		for _, l := range PrimitiveConstraints(2, 2) {
+			for tt := graph.Vertex(0); int(tt) < n; tt++ {
+				probe, err := ix.NewTargetProbe(tt, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for s := graph.Vertex(0); int(s) < n; s++ {
+					want, err := ix.Query(s, tt, l)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := probe.Reaches(s); got != want {
+						t.Fatalf("trial %d: probe(%d->%d, %v) = %v, Query = %v", trial, s, tt, l, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTargetProbeValidation(t *testing.T) {
+	ix := mustBuild(t, graph.Fig2(), Options{K: 2})
+	if _, err := ix.NewTargetProbe(0, labelseq.Seq{0, 0}); err == nil {
+		t.Error("non-primitive constraint must fail")
+	}
+	if _, err := ix.NewTargetProbe(99, labelseq.Seq{0}); err == nil {
+		t.Error("out-of-range target must fail")
+	}
+	// A constraint no path carries: probe must answer false everywhere.
+	probe, err := ix.NewTargetProbe(0, labelseq.Seq{2, 0}) // (l3, l1) never occurs as an MR toward v1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := graph.Vertex(0); int(s) < 6; s++ {
+		want, _ := ix.Query(s, 0, labelseq.Seq{2, 0})
+		if probe.Reaches(s) != want {
+			t.Fatalf("probe disagrees with query at s=%d", s)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/traversal"
+)
+
+// quickGraphSpec decodes arbitrary bytes into a small graph plus a query,
+// the generator for the property checks below.
+type quickGraphSpec struct {
+	Edges []byte
+	S, T  uint8
+	L     []byte
+}
+
+func (q quickGraphSpec) graph() *graph.Graph {
+	b := graph.NewBuilder(10, 3)
+	for i := 0; i+2 < len(q.Edges); i += 3 {
+		b.AddEdge(graph.Vertex(q.Edges[i]%10), graph.Label(q.Edges[i+1]%3), graph.Vertex(q.Edges[i+2]%10))
+	}
+	return b.Build()
+}
+
+func (q quickGraphSpec) constraint() labelseq.Seq {
+	n := 1 + len(q.L)%2 // length 1 or 2
+	l := make(labelseq.Seq, 0, n)
+	for i := 0; i < n && i < len(q.L); i++ {
+		l = append(l, labelseq.Label(q.L[i]%3))
+	}
+	if len(l) == 0 {
+		l = labelseq.Seq{0}
+	}
+	if !labelseq.IsPrimitive(l) {
+		l = l[:1]
+	}
+	return l
+}
+
+// TestQuickIndexMatchesTraversal: for arbitrary generated graphs and
+// queries, the index answer equals the online-traversal answer.
+func TestQuickIndexMatchesTraversal(t *testing.T) {
+	f := func(spec quickGraphSpec) bool {
+		g := spec.graph()
+		if g.NumVertices() == 0 {
+			return true
+		}
+		ix, err := Build(g, Options{K: 2})
+		if err != nil {
+			return false
+		}
+		s := graph.Vertex(spec.S) % 10
+		tt := graph.Vertex(spec.T) % 10
+		l := spec.constraint()
+		got, err := ix.Query(s, tt, l)
+		if err != nil {
+			return false
+		}
+		want, err := traversal.EvalRLC(g, s, tt, l)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProbesMatchQuery: both probe directions agree with Query on
+// arbitrary inputs.
+func TestQuickProbesMatchQuery(t *testing.T) {
+	f := func(spec quickGraphSpec) bool {
+		g := spec.graph()
+		ix, err := Build(g, Options{K: 2})
+		if err != nil {
+			return false
+		}
+		s := graph.Vertex(spec.S) % 10
+		tt := graph.Vertex(spec.T) % 10
+		l := spec.constraint()
+		want, err := ix.Query(s, tt, l)
+		if err != nil {
+			return false
+		}
+		tp, err := ix.NewTargetProbe(tt, l)
+		if err != nil {
+			return false
+		}
+		sp, err := ix.NewSourceProbe(s, l)
+		if err != nil {
+			return false
+		}
+		return tp.Reaches(s) == want && sp.Reaches(tt) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// Binary index format (little endian):
+//
+//	magic "RLCX" | version u32 | k u32 | n u64 | labels u32 | edges u64
+//	dict:    count u32, then per sequence: len u8, labels i32...
+//	order:   n x i32
+//	per vertex v: |Lout(v)| u32, entries (hub i32, mr u32)...,
+//	              |Lin(v)|  u32, entries ...
+//
+// The graph itself is not embedded; Load verifies that the supplied graph
+// has the same shape as the one the index was built from.
+
+const (
+	magic   = "RLCX"
+	version = 1
+)
+
+// Write serializes the index.
+func (ix *Index) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) { binary.Write(bw, le, v) }
+	writeI32 := func(v int32) { binary.Write(bw, le, v) }
+	writeU64 := func(v uint64) { binary.Write(bw, le, v) }
+
+	writeU32(version)
+	writeU32(uint32(ix.k))
+	writeU64(uint64(ix.g.NumVertices()))
+	writeU32(uint32(ix.g.NumLabels()))
+	writeU64(uint64(ix.g.NumEdges()))
+
+	writeU32(uint32(ix.dict.Len()))
+	for i := 0; i < ix.dict.Len(); i++ {
+		seq := ix.dict.Seq(labelseq.ID(i))
+		if err := bw.WriteByte(byte(len(seq))); err != nil {
+			return err
+		}
+		for _, l := range seq {
+			writeI32(int32(l))
+		}
+	}
+	for _, v := range ix.order {
+		writeI32(int32(v))
+	}
+	for v := 0; v < ix.g.NumVertices(); v++ {
+		for _, list := range [2][]entry{ix.out[v], ix.in[v]} {
+			writeU32(uint32(len(list)))
+			for _, e := range list {
+				writeI32(e.hub)
+				writeU32(uint32(e.mr))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes an index previously written with Write and binds it to
+// g, which must have the same vertex count, label count and edge count as
+// the graph the index was built from.
+func Load(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("rlc: load: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("rlc: load: bad magic %q", head)
+	}
+	le := binary.LittleEndian
+	var err error
+	readU32 := func() uint32 {
+		var v uint32
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	readI32 := func() int32 {
+		var v int32
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	readU64 := func() uint64 {
+		var v uint64
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+
+	if v := readU32(); err == nil && v != version {
+		return nil, fmt.Errorf("rlc: load: unsupported version %d", v)
+	}
+	k := int(readU32())
+	n := int(readU64())
+	labels := int(readU32())
+	edges := int(readU64())
+	if err != nil {
+		return nil, fmt.Errorf("rlc: load: %w", err)
+	}
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("rlc: load: bad k %d", k)
+	}
+	if n != g.NumVertices() || labels != g.NumLabels() || edges != g.NumEdges() {
+		return nil, fmt.Errorf("rlc: load: index built for graph with %d vertices/%d labels/%d edges, supplied graph has %d/%d/%d",
+			n, labels, edges, g.NumVertices(), g.NumLabels(), g.NumEdges())
+	}
+
+	numLabels := labels
+	if numLabels == 0 {
+		numLabels = 1
+	}
+	dict, derr := labelseq.NewDict(numLabels, k)
+	if derr != nil {
+		return nil, fmt.Errorf("rlc: load: %w", derr)
+	}
+	ix := &Index{
+		g:     g,
+		k:     k,
+		dict:  dict,
+		order: make([]graph.Vertex, n),
+		rank:  make([]int32, n),
+		in:    make([][]entry, n),
+		out:   make([][]entry, n),
+	}
+
+	dictLen := int(readU32())
+	for i := 0; i < dictLen; i++ {
+		var slen byte
+		if err == nil {
+			slen, err = br.ReadByte()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rlc: load: dict: %w", err)
+		}
+		if int(slen) > k {
+			return nil, fmt.Errorf("rlc: load: dict sequence longer than k")
+		}
+		seq := make(labelseq.Seq, slen)
+		for j := range seq {
+			l := readI32()
+			if l < 0 || int(l) >= numLabels {
+				return nil, fmt.Errorf("rlc: load: dict label %d out of range", l)
+			}
+			seq[j] = labelseq.Label(l)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rlc: load: dict: %w", err)
+		}
+		if got := ix.dict.Intern(seq); int(got) != i {
+			return nil, fmt.Errorf("rlc: load: duplicate dict sequence %v", seq)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := readI32()
+		if err != nil {
+			return nil, fmt.Errorf("rlc: load: order: %w", err)
+		}
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("rlc: load: order vertex %d out of range", v)
+		}
+		ix.order[i] = v
+		ix.rank[v] = int32(i)
+	}
+	for v := 0; v < n; v++ {
+		for side := 0; side < 2; side++ {
+			count := int(readU32())
+			if err != nil {
+				return nil, fmt.Errorf("rlc: load: entries: %w", err)
+			}
+			if count < 0 || count > n*dictLen+1 {
+				return nil, fmt.Errorf("rlc: load: implausible entry count %d", count)
+			}
+			list := make([]entry, count)
+			prev := int32(-1)
+			for i := range list {
+				hub := readI32()
+				mr := readU32()
+				if err != nil {
+					return nil, fmt.Errorf("rlc: load: entries: %w", err)
+				}
+				if hub < prev {
+					return nil, fmt.Errorf("rlc: load: entries not hub-sorted")
+				}
+				prev = hub
+				if hub < 0 || int(hub) >= n || int(mr) >= dictLen {
+					return nil, fmt.Errorf("rlc: load: entry (%d, %d) out of range", hub, mr)
+				}
+				list[i] = entry{hub: hub, mr: labelseq.ID(mr)}
+			}
+			if side == 0 {
+				ix.out[v] = list
+			} else {
+				ix.in[v] = list
+			}
+		}
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to path.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from path and binds it to g.
+func LoadFile(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, g)
+}

@@ -1,0 +1,78 @@
+// Package datasets registers profile replicas of the 13 real-world graphs
+// of Table III. The originals come from SNAP and KONECT and cannot be
+// fetched in this offline reproduction, so each is replaced by a synthetic
+// replica that preserves the characteristics the paper identifies as the
+// index's cost drivers: |V|:|E| ratio (average degree), label-set size,
+// degree skew, self-loop density and triangle density. See DESIGN.md §3.
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/g-rpqs/rlc-go/internal/gen"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// Dataset couples a Table III profile with its paper-reported statistics.
+type Dataset struct {
+	gen.Profile
+	// PaperIndexSeconds and PaperIndexMB are the RLC-index numbers the
+	// paper reports in Table IV (k = 2), used by EXPERIMENTS.md to place
+	// our measurements next to the originals.
+	PaperIndexSeconds float64
+	PaperIndexMB      float64
+}
+
+// All returns the thirteen datasets in Table III order (sorted by |E|).
+func All() []Dataset {
+	return []Dataset{
+		{Profile: gen.Profile{Name: "AD", Vertices: 6_000, Edges: 51_000, Labels: 3, Loops: 4_000, Tri: 98_000, Skewed: true}, PaperIndexSeconds: 0.7, PaperIndexMB: 1.9},
+		{Profile: gen.Profile{Name: "EP", Vertices: 75_000, Edges: 508_000, Labels: 8, Loops: 0, Tri: 1_600_000, Skewed: true}, PaperIndexSeconds: 22.6, PaperIndexMB: 29.3},
+		{Profile: gen.Profile{Name: "TW", Vertices: 465_000, Edges: 834_000, Labels: 8, Loops: 0, Tri: 38_000, Skewed: true}, PaperIndexSeconds: 8.1, PaperIndexMB: 93.5},
+		{Profile: gen.Profile{Name: "WN", Vertices: 325_000, Edges: 1_400_000, Labels: 8, Loops: 27_000, Tri: 8_900_000, Skewed: true}, PaperIndexSeconds: 33.1, PaperIndexMB: 122.6},
+		{Profile: gen.Profile{Name: "WS", Vertices: 281_000, Edges: 2_000_000, Labels: 8, Loops: 0, Tri: 11_000_000, Skewed: true}, PaperIndexSeconds: 53.5, PaperIndexMB: 173.9},
+		{Profile: gen.Profile{Name: "WG", Vertices: 875_000, Edges: 5_000_000, Labels: 8, Loops: 0, Tri: 13_000_000, Skewed: true}, PaperIndexSeconds: 101.3, PaperIndexMB: 403.6},
+		{Profile: gen.Profile{Name: "WT", Vertices: 2_300_000, Edges: 5_000_000, Labels: 8, Loops: 0, Tri: 9_000_000, Skewed: true}, PaperIndexSeconds: 812.9, PaperIndexMB: 607.1},
+		{Profile: gen.Profile{Name: "WB", Vertices: 685_000, Edges: 7_000_000, Labels: 8, Loops: 0, Tri: 64_000_000, Skewed: true}, PaperIndexSeconds: 167.1, PaperIndexMB: 474.2},
+		{Profile: gen.Profile{Name: "WH", Vertices: 1_700_000, Edges: 28_500_000, Labels: 8, Loops: 4_000, Tri: 52_000_000, Skewed: true}, PaperIndexSeconds: 3707.2, PaperIndexMB: 1319.1},
+		{Profile: gen.Profile{Name: "PR", Vertices: 1_600_000, Edges: 30_600_000, Labels: 8, Loops: 0, Tri: 32_000_000, Skewed: true}, PaperIndexSeconds: 3104.1, PaperIndexMB: 1212.6},
+		{Profile: gen.Profile{Name: "SO", Vertices: 2_600_000, Edges: 63_400_000, Labels: 3, Loops: 15_000_000, Tri: 114_000_000, Skewed: true}, PaperIndexSeconds: 57072.5, PaperIndexMB: 844.2},
+		{Profile: gen.Profile{Name: "LJ", Vertices: 4_800_000, Edges: 68_900_000, Labels: 50, Loops: 0, Tri: 285_000_000, Skewed: true}, PaperIndexSeconds: 18240.9, PaperIndexMB: 6248.1},
+		{Profile: gen.Profile{Name: "WF", Vertices: 3_300_000, Edges: 123_700_000, Labels: 25, Loops: 19_000, Tri: 30_000_000_000, Skewed: true}, PaperIndexSeconds: 51338.7, PaperIndexMB: 6467.9},
+	}
+}
+
+// ByName returns the dataset with the given Table III abbreviation.
+func ByName(name string) (Dataset, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q (want one of AD..WF)", name)
+}
+
+// ReplicaVertices returns the vertex count of a replica at the given scale,
+// floored so the smallest datasets stay meaningful and capped by the
+// original size.
+func (d Dataset) ReplicaVertices(scale float64) int {
+	v := int(float64(d.Vertices) * scale)
+	const floor = 600
+	if v < floor {
+		v = floor
+	}
+	if v > d.Vertices {
+		v = d.Vertices
+	}
+	return v
+}
+
+// Replica generates the scaled synthetic stand-in for the dataset.
+// Replicas are deterministic: the seed derives from the dataset name.
+func (d Dataset) Replica(scale float64) (*graph.Graph, error) {
+	seed := int64(0)
+	for _, c := range d.Name {
+		seed = seed*131 + int64(c)
+	}
+	return d.Generate(d.ReplicaVertices(scale), seed)
+}

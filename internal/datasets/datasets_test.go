@@ -1,0 +1,113 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+func TestAllThirteen(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("expected 13 datasets, got %d", len(all))
+	}
+	names := map[string]bool{}
+	prevEdges := 0
+	for _, d := range all {
+		if names[d.Name] {
+			t.Errorf("duplicate dataset %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.Edges < prevEdges {
+			t.Errorf("datasets not sorted by |E|: %s", d.Name)
+		}
+		prevEdges = d.Edges
+		if d.Vertices <= 0 || d.Edges <= 0 || d.Labels <= 0 {
+			t.Errorf("dataset %s has empty shape", d.Name)
+		}
+	}
+	for _, want := range []string{"AD", "WN", "TW", "WG", "SO", "LJ", "WF"} {
+		if !names[want] {
+			t.Errorf("dataset %s missing", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("WN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Vertices != 325_000 || d.Labels != 8 {
+		t.Errorf("WN profile wrong: %+v", d.Profile)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name must fail")
+	}
+}
+
+func TestReplicaVerticesScaling(t *testing.T) {
+	d, _ := ByName("AD")
+	if v := d.ReplicaVertices(10); v != d.Vertices {
+		t.Errorf("scale > 1 should cap at original size, got %d", v)
+	}
+	if v := d.ReplicaVertices(0.000001); v != 600 {
+		t.Errorf("tiny scale should floor at 600, got %d", v)
+	}
+	wf, _ := ByName("WF")
+	if v := wf.ReplicaVertices(0.01); v != 33_000 {
+		t.Errorf("1%% of WF = %d, want 33000", v)
+	}
+}
+
+// TestReplicaPreservesShape verifies the characteristics the substitution
+// promises to preserve (DESIGN.md §3).
+func TestReplicaPreservesShape(t *testing.T) {
+	for _, name := range []string{"AD", "TW", "SO"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := d.Replica(0.002)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumLabels() != d.Labels {
+			t.Errorf("%s: labels %d, want %d", name, g.NumLabels(), d.Labels)
+		}
+		wantDeg := d.AvgDegree()
+		gotDeg := float64(g.NumEdges()) / float64(g.NumVertices())
+		if gotDeg < wantDeg/3 || gotDeg > wantDeg*3 {
+			t.Errorf("%s: avg degree %.1f too far from original %.1f", name, gotDeg, wantDeg)
+		}
+		// Loop-heavy profiles must have loops; loop-free must not.
+		loops := graph.SelfLoopCount(g)
+		if d.Loops > 0 && loops == 0 {
+			t.Errorf("%s: loop-heavy original produced loop-free replica", name)
+		}
+		if d.Loops == 0 && loops > 0 {
+			t.Errorf("%s: loop-free original produced %d loops", name, loops)
+		}
+	}
+}
+
+func TestReplicaDeterminism(t *testing.T) {
+	d, _ := ByName("AD")
+	a, err := d.Replica(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Replica(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("replica edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("replica not deterministic")
+		}
+	}
+}

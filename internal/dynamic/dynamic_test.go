@@ -1,0 +1,232 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/traversal"
+)
+
+func randomGraph(r *rand.Rand, n, numLabels, edges int) *graph.Graph {
+	b := graph.NewBuilder(n, numLabels)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(graph.Vertex(r.Intn(n)), graph.Label(r.Intn(numLabels)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestInsertMakesQueryTrue(t *testing.T) {
+	// Base: 0 -a-> 1, 2 -b-> 3. No (a b)+ path 0 -> 3 until 1 -b-> ...
+	g := graph.FromEdges(4, 2, []graph.Edge{
+		{Src: 0, Dst: 1, Label: 0},
+		{Src: 2, Dst: 3, Label: 1},
+	})
+	d, err := Build(g, Options{IndexOptions: core.Options{K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := labelseq.Seq{0, 1}
+	ok, err := d.Query(0, 3, l)
+	if err != nil || ok {
+		t.Fatalf("before insert: %v, %v; want false", ok, err)
+	}
+	// Inserting 1 -b-> 0 and 0 -a-> 2... simpler: 1 -b-> t' where the
+	// path 0 -a-> 1 -b-> 3 becomes (a b)^1.
+	if err := d.AddEdge(1, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = d.Query(0, 3, l)
+	if err != nil || !ok {
+		t.Fatalf("after insert: %v, %v; want true", ok, err)
+	}
+	if d.JournalLen() != 1 {
+		t.Errorf("journal length = %d", d.JournalLen())
+	}
+}
+
+// TestDeltaEquivalence is the cornerstone: after random insertions, every
+// query over the delta graph must agree with online traversal over the
+// union graph — and with an index freshly rebuilt over the union.
+func TestDeltaEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(600))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + r.Intn(8)
+		labels := 1 + r.Intn(3)
+		g := randomGraph(r, n, labels, 1+r.Intn(2*n))
+		k := 1 + r.Intn(2)
+		d, err := Build(g, Options{IndexOptions: core.Options{K: k}, RebuildThreshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Insert a batch of random edges.
+		for i := 0; i < 1+r.Intn(6); i++ {
+			if err := d.AddEdge(graph.Vertex(r.Intn(n)), graph.Label(r.Intn(labels)), graph.Vertex(r.Intn(n))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		union := d.Graph()
+		rebuilt, err := core.Build(union, core.Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := traversal.NewEvaluator(union)
+		for _, l := range core.PrimitiveConstraints(labels, k) {
+			for s := graph.Vertex(0); int(s) < n; s++ {
+				for tt := graph.Vertex(0); int(tt) < n; tt++ {
+					want, err := traversal.EvalRLC(union, s, tt, l)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := d.Query(s, tt, l)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("trial %d: delta Query(%d,%d,%v+) = %v, union traversal = %v\nbase %v\njournal %d",
+							trial, s, tt, l, got, want, g.Edges(), d.JournalLen())
+					}
+					fresh, err := rebuilt.Query(s, tt, l)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fresh != want {
+						t.Fatalf("trial %d: rebuilt index disagrees with traversal", trial)
+					}
+				}
+			}
+		}
+		_ = ev
+	}
+}
+
+// TestRebuildFoldsJournal: after Rebuild the journal empties, queries stay
+// correct, and the base index alone answers everything.
+func TestRebuildFoldsJournal(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	g := randomGraph(r, 10, 2, 20)
+	d, err := Build(g, Options{IndexOptions: core.Options{K: 2}, RebuildThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.AddEdge(graph.Vertex(r.Intn(10)), graph.Label(r.Intn(2)), graph.Vertex(r.Intn(10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	union := d.Graph()
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.JournalLen() != 0 {
+		t.Fatalf("journal not folded: %d", d.JournalLen())
+	}
+	for _, l := range core.PrimitiveConstraints(2, 2) {
+		for s := graph.Vertex(0); int(s) < 10; s++ {
+			for tt := graph.Vertex(0); int(tt) < 10; tt++ {
+				want, err := traversal.EvalRLC(union, s, tt, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.Query(s, tt, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("post-rebuild Query(%d,%d,%v+) = %v, want %v", s, tt, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAutoRebuildThreshold: crossing the threshold folds the journal on the
+// next query.
+func TestAutoRebuildThreshold(t *testing.T) {
+	g := graph.FromEdges(4, 2, []graph.Edge{{Src: 0, Dst: 1, Label: 0}})
+	d, err := Build(g, Options{IndexOptions: core.Options{K: 2}, RebuildThreshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.AddEdge(1, 1, graph.Vertex(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Query(0, 1, labelseq.Seq{0}); err != nil {
+		t.Fatal(err)
+	}
+	if d.JournalLen() != 0 {
+		t.Errorf("threshold rebuild did not trigger: journal = %d", d.JournalLen())
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := graph.FromEdges(3, 2, []graph.Edge{{Src: 0, Dst: 1, Label: 0}})
+	d, err := Build(g, Options{IndexOptions: core.Options{K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(0, 0, 99); err == nil {
+		t.Error("out-of-range destination must fail")
+	}
+	if err := d.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative source must fail")
+	}
+	if err := d.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range label must fail")
+	}
+	if err := d.RemoveEdge(0, 0, 1); err == nil {
+		t.Error("deletions must be rejected")
+	}
+}
+
+// TestChainThroughMultipleNewEdges: a witness that needs several journal
+// edges at once.
+func TestChainThroughMultipleNewEdges(t *testing.T) {
+	g := graph.FromEdges(6, 1, []graph.Edge{{Src: 0, Dst: 1, Label: 0}})
+	d, err := Build(g, Options{IndexOptions: core.Options{K: 1}, RebuildThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []graph.Edge{
+		{Src: 1, Dst: 2, Label: 0},
+		{Src: 2, Dst: 3, Label: 0},
+		{Src: 3, Dst: 4, Label: 0},
+	} {
+		if err := d.AddEdge(e.Src, e.Label, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := d.Query(0, 4, labelseq.Seq{0})
+	if err != nil || !ok {
+		t.Fatalf("chain through 3 new edges = %v, %v; want true", ok, err)
+	}
+	ok, err = d.Query(0, 5, labelseq.Seq{0})
+	if err != nil || ok {
+		t.Fatalf("unreachable vertex = %v, %v; want false", ok, err)
+	}
+}
+
+// TestProbeCacheInvalidation: a cached probe must not leak stale answers
+// across insertions.
+func TestProbeCacheInvalidation(t *testing.T) {
+	g := graph.FromEdges(4, 1, []graph.Edge{{Src: 0, Dst: 1, Label: 0}})
+	d, err := Build(g, Options{IndexOptions: core.Options{K: 1}, RebuildThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := labelseq.Seq{0}
+	if ok, _ := d.Query(0, 3, l); ok {
+		t.Fatal("0 should not reach 3 yet")
+	}
+	if err := d.AddEdge(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := d.Query(0, 3, l)
+	if err != nil || !ok {
+		t.Fatalf("after insert: %v, %v; want true", ok, err)
+	}
+}

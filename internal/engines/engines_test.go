@@ -1,0 +1,137 @@
+package engines
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/automaton"
+	"github.com/g-rpqs/rlc-go/internal/gen"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/traversal"
+)
+
+func allEngines(g *graph.Graph) []Engine {
+	return []Engine{NewSys1(g), NewSys2(g), NewVirtuosoLike(g)}
+}
+
+func randomGraph(r *rand.Rand, n, numLabels, edges int) *graph.Graph {
+	b := graph.NewBuilder(n, numLabels)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(graph.Vertex(r.Intn(n)), graph.Label(r.Intn(numLabels)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestEnginesOnFig2(t *testing.T) {
+	g := graph.Fig2()
+	v := func(name string) graph.Vertex { id, _ := g.VertexByName(name); return id }
+	for _, e := range allEngines(g) {
+		// Example 4: Q1 true, Q3 false.
+		got, err := e.Eval(v("v3"), v("v6"), automaton.Plus(labelseq.Seq{1, 0}))
+		if err != nil || !got {
+			t.Errorf("%s: Q1 = %v, %v; want true", e.Name(), got, err)
+		}
+		got, err = e.Eval(v("v1"), v("v3"), automaton.Plus(labelseq.Seq{0}))
+		if err != nil || got {
+			t.Errorf("%s: Q3 = %v, %v; want false", e.Name(), got, err)
+		}
+	}
+}
+
+// TestEnginesAgreeWithTraversal: every engine must match BFS on RLC
+// constraints and on the multi-segment extended constraints of Table V.
+func TestEnginesAgreeWithTraversal(t *testing.T) {
+	r := rand.New(rand.NewSource(300))
+	exprs := []automaton.Expr{
+		automaton.Plus(labelseq.Seq{0}),
+		automaton.Plus(labelseq.Seq{1}),
+		automaton.Plus(labelseq.Seq{0, 1}),
+		automaton.Plus(labelseq.Seq{1, 0, 0}),
+		automaton.ConcatPlus(labelseq.Seq{0}, labelseq.Seq{1}),                                            // Q4 a+ b+
+		automaton.ConcatPlus(labelseq.Seq{0, 1}, labelseq.Seq{1}),                                         // (a b)+ b+
+		{Segments: []automaton.Segment{{Labels: labelseq.Seq{0}}, {Labels: labelseq.Seq{1}, Plus: true}}}, // a b+
+	}
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + r.Intn(10)
+		g := randomGraph(r, n, 2, 3*n)
+		ev := traversal.NewEvaluator(g)
+		engines := allEngines(g)
+		for _, expr := range exprs {
+			nfa, err := automaton.Compile(expr, g.NumLabels())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := graph.Vertex(0); int(s) < n; s++ {
+				for tt := graph.Vertex(0); int(tt) < n; tt++ {
+					want := ev.BFS(s, tt, nfa)
+					for _, e := range engines {
+						got, err := e.Eval(s, tt, expr)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Fatalf("trial %d %s(%d,%d,%v) = %v, BFS = %v\nedges %v",
+								trial, e.Name(), s, tt, expr, got, want, g.Edges())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnginesOnBAGraph(t *testing.T) {
+	g, err := gen.BA(150, 3, 4, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := traversal.NewEvaluator(g)
+	r := rand.New(rand.NewSource(301))
+	exprs := []automaton.Expr{
+		automaton.Plus(labelseq.Seq{0}),
+		automaton.Plus(labelseq.Seq{0, 1}),
+		automaton.ConcatPlus(labelseq.Seq{0}, labelseq.Seq{1}),
+	}
+	for _, e := range allEngines(g) {
+		for i := 0; i < 150; i++ {
+			s := graph.Vertex(r.Intn(150))
+			tt := graph.Vertex(r.Intn(150))
+			expr := exprs[r.Intn(len(exprs))]
+			nfa, err := automaton.Compile(expr, g.NumLabels())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ev.BFS(s, tt, nfa)
+			got, err := e.Eval(s, tt, expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s(%d,%d,%v) = %v, BFS = %v", e.Name(), s, tt, expr, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	g := graph.Fig2()
+	for _, e := range allEngines(g) {
+		if _, err := e.Eval(0, 1, automaton.Expr{}); err == nil {
+			t.Errorf("%s: empty expression must fail", e.Name())
+		}
+		if _, err := e.Eval(0, 1, automaton.Plus(labelseq.Seq{99})); err == nil {
+			t.Errorf("%s: out-of-range label must fail", e.Name())
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	g := graph.Fig2()
+	want := map[string]bool{"Sys1": true, "Sys2": true, "VirtuosoLike": true}
+	for _, e := range allEngines(g) {
+		if !want[e.Name()] {
+			t.Errorf("unexpected engine name %q", e.Name())
+		}
+	}
+}

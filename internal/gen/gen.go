@@ -1,0 +1,134 @@
+// Package gen generates the synthetic graphs of the paper's evaluation: the
+// Erdős–Rényi (ER) and Barabási–Albert (BA) models of Section VI-B
+// (replacing the JGraphT generators used by the authors), Zipfian edge-label
+// assignment with exponent 2 (Section VI-b), and profile-driven replicas of
+// the real-world datasets of Table III (see DESIGN.md §3 on substitutions).
+//
+// All generators are deterministic under their seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// ZipfLabeler draws edge labels from a Zipfian distribution with exponent 2
+// over the label set, matching the paper's synthetic label assignment: a few
+// labels dominate, most are rare.
+type ZipfLabeler struct {
+	z         *rand.Zipf
+	numLabels int
+}
+
+// NewZipfLabeler returns a labeler over numLabels labels seeded from r.
+func NewZipfLabeler(r *rand.Rand, numLabels int) *ZipfLabeler {
+	if numLabels < 1 {
+		panic(fmt.Sprintf("gen: numLabels must be >= 1, got %d", numLabels))
+	}
+	// P(k) ∝ (1+k)^-2 for k in [0, numLabels-1].
+	return &ZipfLabeler{z: rand.NewZipf(r, 2.0, 1.0, uint64(numLabels-1)), numLabels: numLabels}
+}
+
+// Next draws one label.
+func (zl *ZipfLabeler) Next() graph.Label { return graph.Label(zl.z.Uint64()) }
+
+// NumLabels returns the size of the label universe.
+func (zl *ZipfLabeler) NumLabels() int { return zl.numLabels }
+
+// ER generates a directed Erdős–Rényi G(n, m) graph: m distinct directed
+// edges (no self loops) between n vertices, with Zipfian labels over
+// numLabels labels.
+func ER(n, m, numLabels int, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ER needs n >= 2, got %d", n)
+	}
+	maxEdges := int64(n) * int64(n-1)
+	if int64(m) > maxEdges {
+		return nil, fmt.Errorf("gen: ER cannot place %d distinct edges on %d vertices (max %d)", m, n, maxEdges)
+	}
+	r := rand.New(rand.NewSource(seed))
+	labels := NewZipfLabeler(r, numLabels)
+	b := graph.NewBuilder(n, numLabels)
+
+	seen := make(map[uint64]struct{}, m)
+	for placed := 0; placed < m; {
+		src := graph.Vertex(r.Intn(n))
+		dst := graph.Vertex(r.Intn(n))
+		if src == dst {
+			continue
+		}
+		key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(src, labels.Next(), dst)
+		placed++
+	}
+	return b.Build(), nil
+}
+
+// BA generates a directed Barabási–Albert preferential-attachment graph:
+// an initial complete directed graph on m vertices (the "complete sub-graph"
+// the paper's analysis of BA behaviour relies on), then n-m additional
+// vertices each attaching m out-edges to existing vertices with probability
+// proportional to their degree. Labels are Zipfian over numLabels labels.
+func BA(n, m, numLabels int, seed int64) (*graph.Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gen: BA needs m >= 1, got %d", m)
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("gen: BA needs n > m (n=%d, m=%d)", n, m)
+	}
+	r := rand.New(rand.NewSource(seed))
+	labels := NewZipfLabeler(r, numLabels)
+	b := graph.NewBuilder(n, numLabels)
+
+	// The repeated-vertices list implements preferential attachment: each
+	// edge endpoint appears once per incident edge, so uniform sampling
+	// over the list is degree-proportional sampling.
+	var repeated []graph.Vertex
+
+	// Seed clique: all ordered pairs among the first max(m, 2) vertices.
+	m0 := m
+	if m0 < 2 {
+		m0 = 2
+	}
+	for u := 0; u < m0; u++ {
+		for v := 0; v < m0; v++ {
+			if u == v {
+				continue
+			}
+			b.AddEdge(graph.Vertex(u), labels.Next(), graph.Vertex(v))
+			repeated = append(repeated, graph.Vertex(u), graph.Vertex(v))
+		}
+	}
+
+	seen := make(map[graph.Vertex]struct{}, m)
+	targets := make([]graph.Vertex, 0, m)
+	for v := m0; v < n; v++ {
+		clear(seen)
+		targets = targets[:0]
+		// Choose m distinct existing targets, degree-proportionally. The
+		// targets slice preserves draw order, keeping the generator
+		// deterministic (map iteration would not be).
+		for len(targets) < m {
+			t := repeated[r.Intn(len(repeated))]
+			if t == graph.Vertex(v) {
+				continue
+			}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			b.AddEdge(graph.Vertex(v), labels.Next(), t)
+			repeated = append(repeated, graph.Vertex(v), t)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,263 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+func TestERShape(t *testing.T) {
+	g, err := ER(100, 400, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 400 {
+		t.Errorf("edges = %d, want exactly 400 (distinct pairs)", g.NumEdges())
+	}
+	if g.NumLabels() != 8 {
+		t.Errorf("labels = %d", g.NumLabels())
+	}
+	if graph.SelfLoopCount(g) != 0 {
+		t.Error("ER must not generate self loops")
+	}
+}
+
+func TestERRejectsImpossible(t *testing.T) {
+	if _, err := ER(3, 100, 2, 1); err == nil {
+		t.Error("more edges than distinct pairs must fail")
+	}
+	if _, err := ER(1, 0, 2, 1); err == nil {
+		t.Error("n < 2 must fail")
+	}
+}
+
+func TestERDeterminism(t *testing.T) {
+	a, err := ER(50, 200, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ER(50, 200, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ across identical seeds")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	c, err := ER(50, 200, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	ec := c.Edges()
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestBAShape(t *testing.T) {
+	n, m := 200, 3
+	g, err := BA(n, m, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	wantEdges := m*(m-1) + (n-m)*m
+	if g.NumEdges() != wantEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// The seed clique must be complete.
+	for u := graph.Vertex(0); int(u) < m; u++ {
+		for v := graph.Vertex(0); int(v) < m; v++ {
+			if u == v {
+				continue
+			}
+			dsts, _ := g.OutEdges(u)
+			found := false
+			for _, d := range dsts {
+				if d == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("seed clique edge %d->%d missing", u, v)
+			}
+		}
+	}
+}
+
+func TestBASkew(t *testing.T) {
+	// Preferential attachment must concentrate in-degree: the top decile
+	// of vertices should hold a disproportionate share of edges compared
+	// to an ER graph of the same size.
+	ba, err := BA(500, 3, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ER(500, ba.NumEdges(), 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topShare := func(g *graph.Graph) float64 {
+		degs := make([]int, g.NumVertices())
+		for v := graph.Vertex(0); int(v) < g.NumVertices(); v++ {
+			degs[v] = g.InDegree(v) + g.OutDegree(v)
+		}
+		// Selection of the top 10% by a simple sort.
+		for i := 0; i < len(degs); i++ {
+			for j := i + 1; j < len(degs); j++ {
+				if degs[j] > degs[i] {
+					degs[i], degs[j] = degs[j], degs[i]
+				}
+			}
+		}
+		top, total := 0, 0
+		for i, d := range degs {
+			total += d
+			if i < len(degs)/10 {
+				top += d
+			}
+		}
+		return float64(top) / float64(total)
+	}
+	if topShare(ba) <= topShare(er) {
+		t.Errorf("BA top-decile share %.3f not above ER %.3f — no skew", topShare(ba), topShare(er))
+	}
+}
+
+func TestBAErrors(t *testing.T) {
+	if _, err := BA(3, 5, 2, 1); err == nil {
+		t.Error("n <= m must fail")
+	}
+	if _, err := BA(10, 0, 2, 1); err == nil {
+		t.Error("m < 1 must fail")
+	}
+}
+
+func TestBADeterminism(t *testing.T) {
+	a, _ := BA(100, 2, 4, 5)
+	b, _ := BA(100, 2, 4, 5)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestZipfLabelerDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	zl := NewZipfLabeler(r, 8)
+	counts := make([]int, 8)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[zl.Next()]++
+	}
+	// Label 0 should dominate: P(0) ∝ 1, P(1) ∝ 1/4 under exponent 2.
+	if counts[0] < counts[1]*2 {
+		t.Errorf("label 0 (%d) not dominant over label 1 (%d)", counts[0], counts[1])
+	}
+	// Monotone non-increasing frequencies, allowing sampling noise.
+	for i := 1; i < 8; i++ {
+		if float64(counts[i]) > float64(counts[i-1])*1.2+100 {
+			t.Errorf("label %d count %d exceeds label %d count %d", i, counts[i], i-1, counts[i-1])
+		}
+	}
+	// Ratio of the two most frequent labels should be near 4 (= 2^2).
+	ratio := float64(counts[0]) / float64(counts[1])
+	if math.Abs(ratio-4) > 1.0 {
+		t.Errorf("count ratio label0/label1 = %.2f, want about 4", ratio)
+	}
+}
+
+func TestProfileGenerate(t *testing.T) {
+	p := Profile{Name: "test", Vertices: 100000, Edges: 700000, Labels: 8, Loops: 5000, Tri: 2000000, Skewed: true}
+	g, err := p.Generate(1000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	if g.NumLabels() != 8 {
+		t.Errorf("labels = %d", g.NumLabels())
+	}
+	// Average degree should be in the neighborhood of the original's 7.
+	d := float64(g.NumEdges()) / float64(g.NumVertices())
+	if d < 3.5 || d > 14 {
+		t.Errorf("avg degree %.1f too far from original 7", d)
+	}
+	// Loop density preserved approximately (50 expected at 1/100 scale).
+	loops := graph.SelfLoopCount(g)
+	if loops < 20 || loops > 100 {
+		t.Errorf("loops = %d, want near 50", loops)
+	}
+	// Cyclic profile must actually produce triangles.
+	if graph.TriangleCount(g) == 0 {
+		t.Error("replica of a triangle-heavy profile has no triangles")
+	}
+}
+
+func TestProfileGenerateUniform(t *testing.T) {
+	p := Profile{Name: "uni", Vertices: 10000, Edges: 30000, Labels: 4, Loops: 0, Tri: 0, Skewed: false}
+	g, err := p.Generate(500, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	if graph.SelfLoopCount(g) != 0 {
+		t.Error("acyclic profile should not gain self loops")
+	}
+}
+
+func TestProfileGenerateErrors(t *testing.T) {
+	p := Profile{Name: "x", Vertices: 100, Edges: 300, Labels: 2, Skewed: false}
+	if _, err := p.Generate(2, 1); err == nil {
+		t.Error("tiny targetV must fail")
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	p := Profile{Name: "d", Vertices: 5000, Edges: 25000, Labels: 8, Loops: 100, Tri: 50000, Skewed: true}
+	a, err := p.Generate(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// Profile describes a real-world dataset from Table III by the
+// characteristics the paper identifies as the index's cost drivers: size,
+// label-set size, degree skew, and cyclicity (self loops and triangles).
+// Generate produces a synthetic replica preserving these characteristics at
+// a chosen scale — the offline substitute for the SNAP/KONECT downloads
+// (DESIGN.md §3).
+type Profile struct {
+	Name     string
+	Vertices int
+	Edges    int
+	Labels   int
+	Loops    int   // self-loop count of the original
+	Tri      int64 // triangle count of the original
+	Skewed   bool  // preferential-attachment degree distribution
+}
+
+// AvgDegree returns |E| / |V| of the original dataset.
+func (p Profile) AvgDegree() float64 {
+	return float64(p.Edges) / float64(p.Vertices)
+}
+
+// Generate builds a replica with about targetV vertices: the average
+// degree, label-set size, loop density (loops per vertex) and triangle
+// density (triangle-closing edges as a share of |E|) of the profile are
+// preserved; absolute size shrinks to targetV/Vertices of the original.
+func (p Profile) Generate(targetV int, seed int64) (*graph.Graph, error) {
+	if targetV < 4 {
+		return nil, fmt.Errorf("gen: profile %s: targetV must be >= 4, got %d", p.Name, targetV)
+	}
+	frac := float64(targetV) / float64(p.Vertices)
+	targetE := int(float64(p.Edges) * frac)
+	if targetE < targetV {
+		targetE = targetV // keep the replica connected-ish
+	}
+	loops := int(float64(p.Loops) * frac)
+	if maxLoops := targetV * p.Labels; loops > maxLoops {
+		loops = maxLoops
+	}
+
+	// Triangle-closing edges: proportional to the original's triangles-
+	// per-edge ratio, saturating at half the edge budget. sqrt compresses
+	// the enormous range of Table III (38K..30B triangles) into a usable
+	// share while preserving the ordering between datasets.
+	triRatio := float64(p.Tri) / float64(p.Edges)
+	if triRatio > 1 {
+		triRatio = 1 + (triRatio-1)/10
+	}
+	triShare := triRatio / (triRatio + 4)
+	if triShare > 0.5 {
+		triShare = 0.5
+	}
+	triEdges := int(float64(targetE) * triShare)
+
+	baseE := targetE - loops - triEdges
+	if baseE < targetV/2 {
+		baseE = targetV / 2
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	var base *graph.Graph
+	var err error
+	if p.Skewed {
+		m := baseE / targetV
+		if m < 1 {
+			m = 1
+		}
+		base, err = BA(targetV, m, p.Labels, seed)
+	} else {
+		base, err = ER(targetV, baseE, p.Labels, seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gen: profile %s: %w", p.Name, err)
+	}
+
+	labels := NewZipfLabeler(r, p.Labels)
+	b := graph.NewBuilder(targetV, p.Labels)
+	for _, e := range base.Edges() {
+		b.AddEdge(e.Src, e.Label, e.Dst)
+	}
+	// Self loops.
+	for i := 0; i < loops; i++ {
+		v := graph.Vertex(r.Intn(targetV))
+		b.AddEdge(v, labels.Next(), v)
+	}
+	// Triangle closures: close random 2-paths u -> v -> w with w -> u,
+	// creating directed 3-cycles (and, through overlap, many more).
+	for i := 0; i < triEdges; i++ {
+		u := graph.Vertex(r.Intn(targetV))
+		dsts, _ := base.OutEdges(u)
+		if len(dsts) == 0 {
+			continue
+		}
+		v := dsts[r.Intn(len(dsts))]
+		dsts2, _ := base.OutEdges(v)
+		if len(dsts2) == 0 {
+			continue
+		}
+		w := dsts2[r.Intn(len(dsts2))]
+		if w == u {
+			continue
+		}
+		b.AddEdge(w, labels.Next(), u)
+	}
+	return b.Build(), nil
+}

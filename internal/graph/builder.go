@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates labeled edges and produces an immutable Graph.
+// The zero value is not usable; construct with NewBuilder.
+type Builder struct {
+	n         int
+	numLabels int
+	edges     []Edge
+
+	vertexNames []string
+	labelNames  []string
+}
+
+// NewBuilder returns a builder for a graph with n vertices and numLabels
+// labels. Both may grow implicitly when AddEdge sees larger ids.
+func NewBuilder(n, numLabels int) *Builder {
+	return &Builder{n: n, numLabels: numLabels}
+}
+
+// SetVertexNames attaches display names (index = vertex id).
+func (b *Builder) SetVertexNames(names []string) { b.vertexNames = names }
+
+// SetLabelNames attaches display names (index = label id).
+func (b *Builder) SetLabelNames(names []string) { b.labelNames = names }
+
+// AddEdge records the directed edge (src, label, dst). Vertex and label
+// universes grow as needed. Negative ids panic.
+func (b *Builder) AddEdge(src Vertex, label Label, dst Vertex) {
+	if src < 0 || dst < 0 || label < 0 {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d, %d): negative id", src, label, dst))
+	}
+	if int(src) >= b.n {
+		b.n = int(src) + 1
+	}
+	if int(dst) >= b.n {
+		b.n = int(dst) + 1
+	}
+	if int(label) >= b.numLabels {
+		b.numLabels = int(label) + 1
+	}
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Label: label})
+}
+
+// NumEdges returns the number of edges recorded so far (duplicates
+// included).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build sorts, deduplicates and freezes the edges into a Graph. The builder
+// remains usable; calling Build again reflects any edges added since.
+func (b *Builder) Build() *Graph {
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		if edges[i].Dst != edges[j].Dst {
+			return edges[i].Dst < edges[j].Dst
+		}
+		return edges[i].Label < edges[j].Label
+	})
+	// Remove exact duplicates.
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edges = dedup
+
+	g := &Graph{
+		n:           b.n,
+		numLabels:   b.numLabels,
+		vertexNames: b.vertexNames,
+		labelNames:  b.labelNames,
+	}
+	m := len(edges)
+	g.outOff = make([]int64, g.n+1)
+	g.outDst = make([]Vertex, m)
+	g.outLbl = make([]Label, m)
+	g.inOff = make([]int64, g.n+1)
+	g.inSrc = make([]Vertex, m)
+	g.inLbl = make([]Label, m)
+
+	for _, e := range edges {
+		g.outOff[e.Src+1]++
+		g.inOff[e.Dst+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	// Edges are sorted by (src, dst, label), so the out arrays fill in
+	// order; the in arrays need a cursor per vertex.
+	cursor := make([]int64, g.n)
+	copy(cursor, g.inOff[:g.n])
+	for i, e := range edges {
+		g.outDst[i] = e.Dst
+		g.outLbl[i] = e.Label
+		c := cursor[e.Dst]
+		g.inSrc[c] = e.Src
+		g.inLbl[c] = e.Label
+		cursor[e.Dst] = c + 1
+	}
+	// Each in-adjacency run holds a fixed dst and receives edges in the
+	// global (src, dst, label) order, so it is already sorted by
+	// (src, label); no re-sort needed.
+	return g
+}
+
+// FromEdges is a convenience constructor used by tests and generators.
+func FromEdges(n, numLabels int, edges []Edge) *Graph {
+	b := NewBuilder(n, numLabels)
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Label, e.Dst)
+	}
+	return b.Build()
+}

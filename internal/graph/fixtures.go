@@ -1,0 +1,83 @@
+package graph
+
+// This file reconstructs the paper's two running-example graphs. They are
+// used as test fixtures throughout the module and by the example programs.
+
+// Fig1 returns the social/professional/financial network of Figure 1.
+// The edge set is reconstructed from the paper's Examples 1-3:
+//   - the fraud path (A14, debits, E15, credits, A17, debits, E18, credits, A19),
+//   - the path (P10, knows, P11, worksFor, P12, knows, P13, worksFor, P16),
+//   - the two all-knows paths P10 -> P16 of lengths 3 and 4,
+//   - S2(P12,P16) = {(knows), (knows,worksFor)},
+//   - Example 2's four depth-4 sequences from P11 back to P12,
+//   - Q2(P10, P13, (knows,knows,worksFor)+) = false.
+func Fig1() *Graph {
+	b := NewBuilder(0, 0)
+	names := []string{"P10", "P11", "P12", "P13", "A14", "E15", "P16", "A17", "E18", "A19"}
+	idx := map[string]Vertex{}
+	for i, n := range names {
+		idx[n] = Vertex(i)
+	}
+	labels := []string{"knows", "worksFor", "holds", "debits", "credits"}
+	lidx := map[string]Label{}
+	for i, n := range labels {
+		lidx[n] = Label(i)
+	}
+	add := func(src, lbl, dst string) { b.AddEdge(idx[src], lidx[lbl], idx[dst]) }
+
+	add("P10", "knows", "P11")
+	add("P11", "knows", "P12")
+	add("P11", "worksFor", "P12")
+	add("P12", "knows", "P13")
+	add("P12", "knows", "P16")
+	add("P13", "knows", "P11")
+	add("P13", "knows", "P16")
+	add("P13", "worksFor", "P16")
+	add("P11", "holds", "A14")
+	add("P16", "holds", "A19")
+	add("A14", "debits", "E15")
+	add("E15", "credits", "A17")
+	add("A17", "debits", "E18")
+	add("E18", "credits", "A19")
+
+	b.SetVertexNames(names)
+	b.SetLabelNames(labels)
+	return b.Build()
+}
+
+// Fig2 returns the running-example graph of Figure 2 (Examples 4-6,
+// Table II). The 11 edges are reconstructed from the examples; the
+// reconstruction reproduces the paper's IN-OUT access order
+// (v1, v3, v2, v4, v5, v6) exactly. Vertex vN of the paper is vertex N-1
+// here (display names preserve the paper's numbering).
+func Fig2() *Graph {
+	b := NewBuilder(6, 3)
+	const (
+		v1 = Vertex(0)
+		v2 = Vertex(1)
+		v3 = Vertex(2)
+		v4 = Vertex(3)
+		v5 = Vertex(4)
+		v6 = Vertex(5)
+	)
+	const (
+		l1 = Label(0)
+		l2 = Label(1)
+		l3 = Label(2)
+	)
+	b.AddEdge(v1, l2, v3)
+	b.AddEdge(v1, l1, v2)
+	b.AddEdge(v2, l2, v5)
+	b.AddEdge(v2, l1, v5)
+	b.AddEdge(v3, l2, v4)
+	b.AddEdge(v3, l2, v1)
+	b.AddEdge(v3, l1, v6)
+	b.AddEdge(v3, l1, v2)
+	b.AddEdge(v4, l1, v1)
+	b.AddEdge(v4, l3, v6)
+	b.AddEdge(v5, l1, v1)
+
+	b.SetVertexNames([]string{"v1", "v2", "v3", "v4", "v5", "v6"})
+	b.SetLabelNames([]string{"l1", "l2", "l3"})
+	return b.Build()
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the graph loader: arbitrary text either fails cleanly or
+// yields a graph that survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("0 1 0\n1 2 1\n")
+	f.Add("# comment\nA B knows\nB C knows\n")
+	f.Add("")
+	f.Add("1 2\n")
+	f.Add("x y z w\n")
+	f.Add("-1 0 0\n")
+	f.Add("999999 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("accepted graph fails to write: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count %d -> %d", g.NumEdges(), back.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(1, 1, 2)
+	b.AddEdge(0, 0, 1) // duplicate, must be dropped
+	b.AddEdge(0, 1, 1) // parallel edge, distinct label, must stay
+	g := b.Build()
+
+	if g.NumVertices() != 3 || g.NumLabels() != 2 {
+		t.Fatalf("got %d vertices, %d labels", g.NumVertices(), g.NumLabels())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (duplicate removed)", g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 2 {
+		t.Errorf("degrees wrong: out(0)=%d in(1)=%d", g.OutDegree(0), g.InDegree(1))
+	}
+	if !g.HasEdge(0, 0, 1) || !g.HasEdge(0, 1, 1) || !g.HasEdge(1, 1, 2) {
+		t.Error("HasEdge missing an inserted edge")
+	}
+	if g.HasEdge(0, 0, 2) || g.HasEdge(2, 0, 0) {
+		t.Error("HasEdge found a phantom edge")
+	}
+}
+
+func TestBuilderGrowsUniverse(t *testing.T) {
+	b := NewBuilder(0, 0)
+	b.AddEdge(5, 3, 7)
+	g := b.Build()
+	if g.NumVertices() != 8 || g.NumLabels() != 4 {
+		t.Errorf("universe = %d vertices, %d labels; want 8, 4", g.NumVertices(), g.NumLabels())
+	}
+}
+
+func TestBuilderPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative vertex id")
+		}
+	}()
+	NewBuilder(1, 1).AddEdge(-1, 0, 0)
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	b := NewBuilder(20, 4)
+	for i := 0; i < 300; i++ {
+		b.AddEdge(Vertex(r.Intn(20)), Label(r.Intn(4)), Vertex(r.Intn(20)))
+	}
+	g := b.Build()
+	for v := Vertex(0); int(v) < g.NumVertices(); v++ {
+		dsts, lbls := g.OutEdges(v)
+		if !sort.SliceIsSorted(dsts, func(i, j int) bool {
+			return dsts[i] < dsts[j] || (dsts[i] == dsts[j] && lbls[i] < lbls[j])
+		}) {
+			t.Fatalf("out-adjacency of %d not sorted", v)
+		}
+		srcs, ilbls := g.InEdges(v)
+		if !sort.SliceIsSorted(srcs, func(i, j int) bool {
+			return srcs[i] < srcs[j] || (srcs[i] == srcs[j] && ilbls[i] < ilbls[j])
+		}) {
+			t.Fatalf("in-adjacency of %d not sorted", v)
+		}
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	b := NewBuilder(15, 3)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(Vertex(r.Intn(15)), Label(r.Intn(3)), Vertex(r.Intn(15)))
+	}
+	g := b.Build()
+	type edge struct {
+		s, d Vertex
+		l    Label
+	}
+	fromOut := map[edge]bool{}
+	fromIn := map[edge]bool{}
+	sumOut, sumIn := 0, 0
+	for v := Vertex(0); int(v) < g.NumVertices(); v++ {
+		dsts, lbls := g.OutEdges(v)
+		for i := range dsts {
+			fromOut[edge{v, dsts[i], lbls[i]}] = true
+		}
+		srcs, ilbls := g.InEdges(v)
+		for i := range srcs {
+			fromIn[edge{srcs[i], v, ilbls[i]}] = true
+		}
+		sumOut += g.OutDegree(v)
+		sumIn += g.InDegree(v)
+	}
+	if sumOut != g.NumEdges() || sumIn != g.NumEdges() {
+		t.Errorf("degree sums: out=%d in=%d edges=%d", sumOut, sumIn, g.NumEdges())
+	}
+	if len(fromOut) != len(fromIn) {
+		t.Fatalf("edge sets differ in size: %d vs %d", len(fromOut), len(fromIn))
+	}
+	for e := range fromOut {
+		if !fromIn[e] {
+			t.Fatalf("edge %v in out-adjacency but not in-adjacency", e)
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := Fig2()
+	edges := g.Edges()
+	if len(edges) != g.NumEdges() {
+		t.Fatalf("Edges() returned %d, want %d", len(edges), g.NumEdges())
+	}
+	g2 := FromEdges(g.NumVertices(), g.NumLabels(), edges)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("rebuild changed edge count: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for _, e := range edges {
+		if !g2.HasEdge(e.Src, e.Label, e.Dst) {
+			t.Errorf("edge %v lost in rebuild", e)
+		}
+	}
+}
+
+func TestTextIORoundTripNumeric(t *testing.T) {
+	g := FromEdges(4, 3, []Edge{
+		{0, 1, 0}, {1, 2, 1}, {2, 3, 2}, {3, 0, 0}, {1, 1, 2},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.Src, e.Label, e.Dst) {
+			t.Errorf("edge %v lost in text round trip", e)
+		}
+	}
+}
+
+func TestTextIORoundTripNamed(t *testing.T) {
+	g := Fig1()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() || g2.NumLabels() != g.NumLabels() {
+		t.Fatalf("round trip shape mismatch")
+	}
+	// Every named edge must survive, independent of id assignment.
+	p10, ok := g2.VertexByName("P10")
+	if !ok {
+		t.Fatal("P10 lost")
+	}
+	knows, ok := g2.LabelByName("knows")
+	if !ok {
+		t.Fatal("knows lost")
+	}
+	p11, _ := g2.VertexByName("P11")
+	if !g2.HasEdge(p10, knows, p11) {
+		t.Error("edge P10-knows->P11 lost")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 2\n")); err == nil {
+		t.Error("expected error for 2-field line")
+	}
+	if _, err := Read(strings.NewReader("1 2 3 4\n")); err == nil {
+		t.Error("expected error for 4-field line")
+	}
+	if _, err := Read(strings.NewReader("-1 2 0\n")); err == nil {
+		t.Error("expected error for negative numeric id")
+	}
+	g, err := Read(strings.NewReader("# comment only\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Error("comment-only file should produce empty graph")
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := Fig1()
+	if g.VertexName(0) != "P10" {
+		t.Errorf("VertexName(0) = %q", g.VertexName(0))
+	}
+	if g.LabelName(0) != "knows" {
+		t.Errorf("LabelName(0) = %q", g.LabelName(0))
+	}
+	if _, ok := g.VertexByName("nope"); ok {
+		t.Error("VertexByName should miss")
+	}
+	if _, ok := g.LabelByName("nope"); ok {
+		t.Error("LabelByName should miss")
+	}
+	anon := FromEdges(2, 1, []Edge{{0, 1, 0}})
+	if anon.VertexName(1) != "v1" || anon.LabelName(0) != "l0" {
+		t.Errorf("fallback names wrong: %q %q", anon.VertexName(1), anon.LabelName(0))
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	g := Fig1()
+	if g.NumVertices() != 10 || g.NumEdges() != 14 || g.NumLabels() != 5 {
+		t.Fatalf("Fig1 shape: %d vertices, %d edges, %d labels", g.NumVertices(), g.NumEdges(), g.NumLabels())
+	}
+	// Label multiset from the figure: knows x6, worksFor x2, holds x2,
+	// debits x2, credits x2.
+	counts := map[string]int{}
+	for _, e := range g.Edges() {
+		counts[g.LabelName(e.Label)]++
+	}
+	want := map[string]int{"knows": 6, "worksFor": 2, "holds": 2, "debits": 2, "credits": 2}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("label %s count = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	g := Fig2()
+	if g.NumVertices() != 6 || g.NumEdges() != 11 || g.NumLabels() != 3 {
+		t.Fatalf("Fig2 shape: %d vertices, %d edges, %d labels", g.NumVertices(), g.NumEdges(), g.NumLabels())
+	}
+}
+
+// TestFig2AccessOrder verifies our reconstruction against the paper: the
+// IN-OUT order of Figure 2 must be (v1, v3, v2, v4, v5, v6) — stated
+// explicitly in Section V-B.
+func TestFig2AccessOrder(t *testing.T) {
+	g := Fig2()
+	order := OrderByDegreeProduct(g)
+	want := []string{"v1", "v3", "v2", "v4", "v5", "v6"}
+	for i, v := range order {
+		if g.VertexName(v) != want[i] {
+			t.Fatalf("access order[%d] = %s, want %s (full order: %v)", i, g.VertexName(v), want[i], order)
+		}
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	if Fig2().MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}

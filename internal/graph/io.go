@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format is one edge per line: "src dst label", whitespace
+// separated. Lines starting with '#' and blank lines are ignored. Tokens may
+// be arbitrary strings; numeric tokens are used as ids directly when every
+// token in the file is numeric, otherwise tokens are interned in first-seen
+// order and the display names recorded on the graph.
+
+// Read parses the text edge-list format from r.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	type rawEdge struct{ src, dst, lbl string }
+	var raw []rawEdge
+	numeric := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 3 fields \"src dst label\", got %d", lineNo, len(fields))
+		}
+		for _, f := range fields {
+			if _, err := strconv.Atoi(f); err != nil {
+				numeric = false
+			}
+		}
+		raw = append(raw, rawEdge{fields[0], fields[1], fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+
+	b := NewBuilder(0, 0)
+	if numeric {
+		for _, e := range raw {
+			src, _ := strconv.Atoi(e.src)
+			dst, _ := strconv.Atoi(e.dst)
+			lbl, _ := strconv.Atoi(e.lbl)
+			if src < 0 || dst < 0 || lbl < 0 {
+				return nil, fmt.Errorf("graph: negative id in edge %s %s %s", e.src, e.dst, e.lbl)
+			}
+			b.AddEdge(Vertex(src), Label(lbl), Vertex(dst))
+		}
+		return b.Build(), nil
+	}
+
+	vids := make(map[string]Vertex)
+	lids := make(map[string]Label)
+	var vnames, lnames []string
+	vertex := func(tok string) Vertex {
+		if id, ok := vids[tok]; ok {
+			return id
+		}
+		id := Vertex(len(vnames))
+		vids[tok] = id
+		vnames = append(vnames, tok)
+		return id
+	}
+	label := func(tok string) Label {
+		if id, ok := lids[tok]; ok {
+			return id
+		}
+		id := Label(len(lnames))
+		lids[tok] = id
+		lnames = append(lnames, tok)
+		return id
+	}
+	for _, e := range raw {
+		b.AddEdge(vertex(e.src), label(e.lbl), vertex(e.dst))
+	}
+	b.SetVertexNames(vnames)
+	b.SetLabelNames(lnames)
+	return b.Build(), nil
+}
+
+// Write renders g in the text edge-list format, using display names when the
+// graph has them.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d vertices, %d edges, %d labels\n", g.NumVertices(), g.NumEdges(), g.NumLabels())
+	named := g.vertexNames != nil || g.labelNames != nil
+	for v := Vertex(0); int(v) < g.NumVertices(); v++ {
+		dsts, lbls := g.OutEdges(v)
+		for i := range dsts {
+			if named {
+				fmt.Fprintf(bw, "%s %s %s\n", g.VertexName(v), g.VertexName(dsts[i]), g.LabelName(lbls[i]))
+			} else {
+				fmt.Fprintf(bw, "%d %d %d\n", v, dsts[i], lbls[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a graph from the text file at path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// SaveFile writes a graph to the text file at path.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,143 @@
+package graph
+
+import "sort"
+
+// Stats summarizes the characteristics the paper reports per dataset in
+// Table III.
+type Stats struct {
+	Vertices  int
+	Edges     int
+	Labels    int
+	Loops     int // cycles of length 1 (self loops)
+	Triangles int // directed cycles of length 3
+	AvgDegree float64
+	MaxOutDeg int
+	MaxInDeg  int
+}
+
+// ComputeStats derives Table-III style statistics. The triangle count is
+// exact and counts directed 3-cycles (u -> v -> w -> u), each once.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Labels:   g.NumLabels(),
+	}
+	if s.Vertices > 0 {
+		s.AvgDegree = float64(s.Edges) / float64(s.Vertices)
+	}
+	for v := Vertex(0); int(v) < g.NumVertices(); v++ {
+		if d := g.OutDegree(v); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if d := g.InDegree(v); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+	}
+	s.Loops = SelfLoopCount(g)
+	s.Triangles = TriangleCount(g)
+	return s
+}
+
+// SelfLoopCount returns the number of distinct (vertex, label) self loops.
+func SelfLoopCount(g *Graph) int {
+	count := 0
+	for v := Vertex(0); int(v) < g.NumVertices(); v++ {
+		dsts, _ := g.OutEdges(v)
+		for _, d := range dsts {
+			if d == v {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// TriangleCount returns the number of directed 3-cycles u -> v -> w -> u on
+// the label-stripped graph (parallel edges collapse), counting each cycle
+// once. Labels are ignored, matching how Table III characterizes cyclicity.
+func TriangleCount(g *Graph) int {
+	n := g.NumVertices()
+	// Distinct out- and in-neighbor lists (labels stripped), sorted.
+	out := make([][]Vertex, n)
+	in := make([][]Vertex, n)
+	for v := Vertex(0); int(v) < n; v++ {
+		out[v] = distinctNeighbors(g.OutEdges(v))
+		in[v] = distinctNeighbors(g.InEdges(v))
+	}
+	// A directed triangle u->v->w->u is found once per edge; intersecting
+	// out(v) with in(u) counts w candidates. Each cycle is seen from each
+	// of its three edges, so divide by 3.
+	total := 0
+	for u := Vertex(0); int(u) < n; u++ {
+		for _, v := range out[u] {
+			if v == u {
+				continue
+			}
+			total += intersectionSizeExcluding(out[v], in[u], u, v)
+		}
+	}
+	return total / 3
+}
+
+func distinctNeighbors(vs []Vertex, _ []Label) []Vertex {
+	if len(vs) == 0 {
+		return nil
+	}
+	// vs is sorted already (CSR invariant); collapse runs.
+	out := make([]Vertex, 0, len(vs))
+	for i, v := range vs {
+		if i > 0 && v == out[len(out)-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// intersectionSizeExcluding counts elements common to the sorted slices a
+// and b, skipping the vertices x and y (the triangle endpoints themselves,
+// which would otherwise count 2-cycles and loops).
+func intersectionSizeExcluding(a, b []Vertex, x, y Vertex) int {
+	i, j, count := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] != x && a[i] != y {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// DegreeProduct returns (|out(v)|+1) * (|in(v)|+1), the IN-OUT ordering key
+// of Section V-B.
+func DegreeProduct(g *Graph, v Vertex) int64 {
+	return int64(g.OutDegree(v)+1) * int64(g.InDegree(v)+1)
+}
+
+// OrderByDegreeProduct returns the vertices sorted by DegreeProduct
+// descending (ties broken by vertex id ascending, for determinism). The
+// position of a vertex in this order is its access id minus one.
+func OrderByDegreeProduct(g *Graph) []Vertex {
+	order := make([]Vertex, g.NumVertices())
+	keys := make([]int64, g.NumVertices())
+	for i := range order {
+		order[i] = Vertex(i)
+		keys[i] = DegreeProduct(g, Vertex(i))
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if keys[order[i]] != keys[order[j]] {
+			return keys[order[i]] > keys[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// triangleBrute counts directed 3-cycles by cubic enumeration over the
+// label-stripped edge set.
+func triangleBrute(g *Graph) int {
+	n := g.NumVertices()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range g.Edges() {
+		adj[e.Src][e.Dst] = true
+	}
+	count := 0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || !adj[u][v] {
+				continue
+			}
+			for w := 0; w < n; w++ {
+				if w == u || w == v {
+					continue
+				}
+				if adj[v][w] && adj[w][u] {
+					count++
+				}
+			}
+		}
+	}
+	return count / 3
+}
+
+func TestSelfLoopCount(t *testing.T) {
+	g := FromEdges(3, 2, []Edge{
+		{0, 0, 0}, {0, 0, 1}, {1, 1, 1}, {1, 2, 0}, {2, 2, 0}, {2, 2, 1},
+	})
+	// Self loops: (0,0,l0), (0,0,l1), (1,1,l1), (2,2,l0), (2,2,l1).
+	if got := SelfLoopCount(g); got != 5 {
+		t.Errorf("SelfLoopCount = %d, want 5", got)
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	// Single directed triangle 0->1->2->0.
+	g := FromEdges(3, 1, []Edge{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}})
+	if got := TriangleCount(g); got != 1 {
+		t.Errorf("TriangleCount(triangle) = %d, want 1", got)
+	}
+	// A 2-cycle plus loops: zero triangles.
+	g = FromEdges(2, 1, []Edge{{0, 1, 0}, {1, 0, 0}, {0, 0, 0}})
+	if got := TriangleCount(g); got != 0 {
+		t.Errorf("TriangleCount(2-cycle) = %d, want 0", got)
+	}
+	// Parallel labels must not double count.
+	g = FromEdges(3, 2, []Edge{{0, 1, 0}, {0, 1, 1}, {1, 2, 0}, {2, 0, 0}})
+	if got := TriangleCount(g); got != 1 {
+		t.Errorf("TriangleCount(parallel) = %d, want 1", got)
+	}
+}
+
+func TestTriangleCountMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(10)
+		b := NewBuilder(n, 2)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(Vertex(r.Intn(n)), Label(r.Intn(2)), Vertex(r.Intn(n)))
+		}
+		g := b.Build()
+		got, want := TriangleCount(g), triangleBrute(g)
+		if got != want {
+			t.Fatalf("trial %d: TriangleCount = %d, brute = %d", trial, got, want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := FromEdges(3, 2, []Edge{{0, 1, 0}, {1, 2, 0}, {2, 0, 1}, {0, 0, 0}})
+	s := ComputeStats(g)
+	if s.Vertices != 3 || s.Edges != 4 || s.Labels != 2 {
+		t.Errorf("stats shape: %+v", s)
+	}
+	if s.Loops != 1 {
+		t.Errorf("Loops = %d, want 1", s.Loops)
+	}
+	if s.Triangles != 1 {
+		t.Errorf("Triangles = %d, want 1", s.Triangles)
+	}
+	if s.AvgDegree < 1.33 || s.AvgDegree > 1.34 {
+		t.Errorf("AvgDegree = %f", s.AvgDegree)
+	}
+	if s.MaxOutDeg != 2 {
+		t.Errorf("MaxOutDeg = %d, want 2", s.MaxOutDeg)
+	}
+}
+
+func TestDegreeProduct(t *testing.T) {
+	g := Fig2()
+	v1, _ := g.VertexByName("v1")
+	if got := DegreeProduct(g, v1); got != 12 {
+		t.Errorf("DegreeProduct(v1) = %d, want 12 (out 2, in 3)", got)
+	}
+	v6, _ := g.VertexByName("v6")
+	if got := DegreeProduct(g, v6); got != 3 {
+		t.Errorf("DegreeProduct(v6) = %d, want 3 (out 0, in 2)", got)
+	}
+}
+
+func TestOrderDeterministicTies(t *testing.T) {
+	// All four vertices have degree product 2: ids must break the ties.
+	g := FromEdges(4, 1, []Edge{{0, 1, 0}, {2, 3, 0}})
+	order := OrderByDegreeProduct(g)
+	for i, v := range order {
+		if int(v) != i {
+			t.Fatalf("tie break not by id: %v", order)
+		}
+	}
+}

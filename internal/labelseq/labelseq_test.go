@@ -1,0 +1,340 @@
+package labelseq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mrBrute computes the minimum repeat by trying every candidate length.
+func mrBrute(s Seq) Seq {
+	n := len(s)
+	if n == 0 {
+		return s
+	}
+outer:
+	for p := 1; p <= n; p++ {
+		if n%p != 0 {
+			continue
+		}
+		for i := p; i < n; i++ {
+			if s[i] != s[i-p] {
+				continue outer
+			}
+		}
+		return s[:p]
+	}
+	return s
+}
+
+// kernelBrute finds the kernel/tail decomposition of Definition 3 by
+// enumeration: the shortest primitive L' with s = (L')^h ∘ tail, h >= 2 and
+// tail a proper prefix of L'.
+func kernelBrute(s Seq) (Seq, Seq, bool) {
+	n := len(s)
+	for p := 1; 2*p <= n; p++ {
+		cand := s[:p]
+		if !IsPrimitive(cand) {
+			continue
+		}
+		ok := true
+		for i := p; i < n; i++ {
+			if s[i] != s[i%p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			h := n / p
+			return cand, s[h*p:], true
+		}
+	}
+	return nil, nil, false
+}
+
+func randomSeq(r *rand.Rand, maxLen, numLabels int) Seq {
+	n := r.Intn(maxLen + 1)
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = Label(r.Intn(numLabels))
+	}
+	return s
+}
+
+func TestMinimumRepeatTable(t *testing.T) {
+	cases := []struct {
+		in, want Seq
+	}{
+		{Seq{}, Seq{}},
+		{Seq{0}, Seq{0}},
+		{Seq{0, 0}, Seq{0}},
+		{Seq{0, 1}, Seq{0, 1}},
+		{Seq{0, 1, 0, 1}, Seq{0, 1}},
+		{Seq{0, 1, 0}, Seq{0, 1, 0}},
+		{Seq{0, 0, 0, 0, 0}, Seq{0}},
+		{Seq{0, 1, 2, 0, 1, 2}, Seq{0, 1, 2}},
+		{Seq{0, 1, 2, 0, 1}, Seq{0, 1, 2, 0, 1}},
+		{Seq{1, 1, 0, 1, 1, 0}, Seq{1, 1, 0}},
+		{Seq{0, 1, 0, 0, 1, 0}, Seq{0, 1, 0}},
+		{Seq{0, 1, 1, 0, 1, 1}, Seq{0, 1, 1}},
+	}
+	for _, c := range cases {
+		got := MinimumRepeat(c.in)
+		if !got.Equal(c.want) {
+			t.Errorf("MinimumRepeat(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMinimumRepeatMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		s := randomSeq(r, 16, 3)
+		got, want := MinimumRepeat(s), mrBrute(s)
+		if !got.Equal(want) {
+			t.Fatalf("MinimumRepeat(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestMinimumRepeatIdempotent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := make(Seq, len(raw))
+		for i, b := range raw {
+			s[i] = Label(b % 4)
+		}
+		mr := MinimumRepeat(s)
+		return MinimumRepeat(mr).Equal(mr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimumRepeatDividesLength(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := make(Seq, len(raw))
+		for i, b := range raw {
+			s[i] = Label(b % 3)
+		}
+		if len(s) == 0 {
+			return true
+		}
+		mr := MinimumRepeat(s)
+		if len(s)%len(mr) != 0 {
+			return false
+		}
+		// Reconstructing (mr)^z must yield s exactly.
+		return mr.Power(len(s) / len(mr)).Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPrimitive(t *testing.T) {
+	cases := []struct {
+		in   Seq
+		want bool
+	}{
+		{Seq{}, false},
+		{Seq{0}, true},
+		{Seq{0, 0}, false},
+		{Seq{0, 1}, true},
+		{Seq{0, 1, 0}, true},
+		{Seq{0, 1, 0, 1}, false},
+	}
+	for _, c := range cases {
+		if got := IsPrimitive(c.in); got != c.want {
+			t.Errorf("IsPrimitive(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKMR(t *testing.T) {
+	mr, ok := KMR(Seq{0, 1, 0, 1}, 2)
+	if !ok || !mr.Equal(Seq{0, 1}) {
+		t.Errorf("KMR((0,1,0,1), 2) = %v, %v; want (0,1), true", mr, ok)
+	}
+	if _, ok := KMR(Seq{0, 1, 2}, 2); ok {
+		t.Error("KMR((0,1,2), 2) should not exist")
+	}
+	if _, ok := KMR(Seq{}, 2); ok {
+		t.Error("KMR of empty sequence should not exist")
+	}
+	mr, ok = KMR(Seq{2, 2, 2}, 1)
+	if !ok || !mr.Equal(Seq{2}) {
+		t.Errorf("KMR((2,2,2), 1) = %v, %v; want (2), true", mr, ok)
+	}
+}
+
+func TestKernelTable(t *testing.T) {
+	cases := []struct {
+		in           Seq
+		kernel, tail Seq
+		ok           bool
+	}{
+		{Seq{}, nil, nil, false},
+		{Seq{0}, nil, nil, false},
+		{Seq{0, 1}, nil, nil, false},
+		{Seq{0, 0}, Seq{0}, Seq{}, true},
+		{Seq{0, 1, 0, 1}, Seq{0, 1}, Seq{}, true},
+		{Seq{0, 1, 0, 1, 0}, Seq{0, 1}, Seq{0}, true},
+		{Seq{0, 1, 0, 0, 1, 0}, Seq{0, 1, 0}, Seq{}, true},
+		{Seq{0, 1, 2, 0, 1}, nil, nil, false},
+		// The paper's example: (knows,knows,knows,knows) has kernel
+		// knows and tail ε.
+		{Seq{0, 0, 0, 0}, Seq{0}, Seq{}, true},
+	}
+	for _, c := range cases {
+		kernel, tail, ok := Kernel(c.in)
+		if ok != c.ok {
+			t.Errorf("Kernel(%v) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if !kernel.Equal(c.kernel) || !tail.Equal(c.tail) {
+			t.Errorf("Kernel(%v) = %v, %v; want %v, %v", c.in, kernel, tail, c.kernel, c.tail)
+		}
+	}
+}
+
+func TestKernelMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		s := randomSeq(r, 14, 3)
+		k1, t1, ok1 := Kernel(s)
+		k2, t2, ok2 := kernelBrute(s)
+		if ok1 != ok2 {
+			t.Fatalf("Kernel(%v) ok = %v, brute = %v", s, ok1, ok2)
+		}
+		if ok1 && (!k1.Equal(k2) || !t1.Equal(t2)) {
+			t.Fatalf("Kernel(%v) = %v/%v, brute = %v/%v", s, k1, t1, k2, t2)
+		}
+	}
+}
+
+// TestKernelUniqueness verifies Lemma 2 empirically: when a kernel exists it
+// is the only primitive p with s = p^h ∘ tail, h >= 2 and tail a proper
+// prefix of p.
+func TestKernelUniqueness(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		s := randomSeq(r, 12, 2)
+		n := len(s)
+		var kernels []Seq
+		for p := 1; 2*p <= n; p++ {
+			cand := s[:p]
+			if !IsPrimitive(cand) {
+				continue
+			}
+			match := true
+			for j := p; j < n; j++ {
+				if s[j] != s[j%p] {
+					match = false
+					break
+				}
+			}
+			if match {
+				kernels = append(kernels, cand)
+			}
+		}
+		if len(kernels) > 1 {
+			t.Fatalf("sequence %v has %d kernels: %v — violates Lemma 2", s, len(kernels), kernels)
+		}
+	}
+}
+
+// TestTheorem1Case3 checks the Case-3 criterion of Theorem 1 against the
+// brute-force k-MR of the full sequence, for paths longer than 2k.
+func TestTheorem1Case3(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, k := range []int{1, 2, 3} {
+		for i := 0; i < 4000; i++ {
+			total := 2*k + 1 + r.Intn(3*k)
+			s := make(Seq, total)
+			for j := range s {
+				s[j] = Label(r.Intn(2))
+			}
+			// Bias half the trials toward periodic sequences so the
+			// positive branch is exercised.
+			if i%2 == 0 {
+				p := 1 + r.Intn(k)
+				for j := p; j < total; j++ {
+					s[j] = s[j%p]
+				}
+			}
+			prefix, rest := s[:2*k], s[2*k:]
+			gotMR, gotOK := HasKMRViaKernel(prefix, rest, k)
+			wantMR, wantOK := KMR(s, k)
+			if gotOK != wantOK {
+				t.Fatalf("k=%d seq=%v: kernel criterion ok=%v, brute k-MR ok=%v", k, s, gotOK, wantOK)
+			}
+			if gotOK && !gotMR.Equal(wantMR) {
+				t.Fatalf("k=%d seq=%v: kernel criterion MR=%v, brute=%v", k, s, gotMR, wantMR)
+			}
+		}
+	}
+}
+
+func TestSatisfiesPlus(t *testing.T) {
+	l := Seq{0, 1}
+	if !SatisfiesPlus(Seq{0, 1, 0, 1}, l) {
+		t.Error("(0,1,0,1) should satisfy (0,1)+")
+	}
+	if SatisfiesPlus(Seq{0, 1, 0}, l) {
+		t.Error("(0,1,0) should not satisfy (0,1)+")
+	}
+	if SatisfiesPlus(Seq{}, l) {
+		t.Error("empty sequence should not satisfy (0,1)+")
+	}
+	if !SatisfiesPlus(Seq{0, 1}, l) {
+		t.Error("(0,1) should satisfy (0,1)+")
+	}
+}
+
+func TestSeqHelpers(t *testing.T) {
+	s := Seq{0, 1, 2}
+	c := s.Clone()
+	c[0] = 5
+	if s[0] != 0 {
+		t.Error("Clone must not alias")
+	}
+	if got := s.Concat(Seq{3}).String(); got != "(l0,l1,l2,l3)" {
+		t.Errorf("Concat/String = %q", got)
+	}
+	if got := s.Format([]string{"a", "b"}); got != "(a,b,l2)" {
+		t.Errorf("Format = %q", got)
+	}
+	if !(Seq{0}).Power(3).Equal(Seq{0, 0, 0}) {
+		t.Error("Power broken")
+	}
+	if len((Seq{0, 1}).Power(0)) != 0 {
+		t.Error("Power(0) should be empty")
+	}
+	var nilSeq Seq
+	if nilSeq.Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestSmallestPeriod(t *testing.T) {
+	cases := []struct {
+		in   Seq
+		want int
+	}{
+		{Seq{}, 0},
+		{Seq{0}, 1},
+		{Seq{0, 0}, 1},
+		{Seq{0, 1, 0}, 2},
+		{Seq{0, 1, 0, 1}, 2},
+		{Seq{0, 1, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := SmallestPeriod(c.in); got != c.want {
+			t.Errorf("SmallestPeriod(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

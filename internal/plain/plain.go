@@ -1,0 +1,163 @@
+// Package plain implements a pruned 2-hop labeling index for PLAIN
+// reachability — the classical framework (Cohen et al. 2002; pruned
+// landmark labeling) that Section II surveys and that the RLC index
+// generalizes. It serves two roles in this repository:
+//
+//   - as the related-work substrate demonstrating the paper's point that
+//     plain reachability indexes are insufficient for RLC queries (they
+//     ignore labels entirely: see TestPlainInsufficientForRLC), and
+//   - as an optional negative pre-filter: if t is not plainly reachable
+//     from s, no constraint can hold, so (s, t, L+) is false for every L.
+//
+// The index assigns each vertex v two sorted sets of hub ranks: IN(v)
+// (hubs that reach v) and OUT(v) (hubs v reaches); s ⇝ t iff the sets
+// OUT(s) and IN(t) intersect. Construction prunes each hub's BFS with the
+// partially built index, which keeps labels small on the same degree-
+// ordered schedule the RLC index uses.
+package plain
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// Index is a pruned 2-hop plain-reachability labeling.
+type Index struct {
+	g     *graph.Graph
+	order []graph.Vertex
+	rank  []int32
+	in    [][]int32 // hub ranks that reach v, ascending
+	out   [][]int32 // hub ranks v reaches, ascending
+}
+
+// Build constructs the labeling with pruned BFS per hub, in IN-OUT order.
+func Build(g *graph.Graph) (*Index, error) {
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("plain: cannot index an empty graph")
+	}
+	n := g.NumVertices()
+	ix := &Index{
+		g:     g,
+		order: graph.OrderByDegreeProduct(g),
+		rank:  make([]int32, n),
+		in:    make([][]int32, n),
+		out:   make([][]int32, n),
+	}
+	for r, v := range ix.order {
+		ix.rank[v] = int32(r)
+	}
+
+	visited := make([]uint32, n)
+	var stamp uint32
+	queue := make([]graph.Vertex, 0, n)
+
+	bfs := func(hub graph.Vertex, backward bool) {
+		hubRank := ix.rank[hub]
+		stamp++
+		queue = queue[:0]
+		queue = append(queue, hub)
+		visited[hub] = stamp
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			// Prune: if a higher-priority hub already covers (hub, u),
+			// u's subtree is reachable through that hub's labels.
+			if u != hub {
+				if backward {
+					// Path u -> hub.
+					if ix.covered(u, hub) {
+						continue
+					}
+					ix.out[u] = append(ix.out[u], hubRank)
+				} else {
+					if ix.covered(hub, u) {
+						continue
+					}
+					ix.in[u] = append(ix.in[u], hubRank)
+				}
+			}
+			var nbrs []graph.Vertex
+			if backward {
+				nbrs, _ = ix.g.InEdges(u)
+			} else {
+				nbrs, _ = ix.g.OutEdges(u)
+			}
+			for _, w := range nbrs {
+				if visited[w] == stamp {
+					continue
+				}
+				visited[w] = stamp
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	for _, hub := range ix.order {
+		// Hub covers itself on both sides so Reaches(hub, x) resolves
+		// through rank intersection alone.
+		ix.out[hub] = append(ix.out[hub], ix.rank[hub])
+		ix.in[hub] = append(ix.in[hub], ix.rank[hub])
+		bfs(hub, true)  // vertices that reach hub gain an OUT entry
+		bfs(hub, false) // vertices hub reaches gain an IN entry
+	}
+	return ix, nil
+}
+
+// covered reports whether the current labeling already answers s ⇝ t.
+func (ix *Index) covered(s, t graph.Vertex) bool {
+	return intersects(ix.out[s], ix.in[t])
+}
+
+// Reaches answers the plain reachability query s ⇝* t (true when s == t).
+func (ix *Index) Reaches(s, t graph.Vertex) (bool, error) {
+	if s < 0 || int(s) >= ix.g.NumVertices() || t < 0 || int(t) >= ix.g.NumVertices() {
+		return false, fmt.Errorf("plain: vertex out of range")
+	}
+	if s == t {
+		return true, nil
+	}
+	return ix.covered(s, t), nil
+}
+
+// NumEntries returns the total label size.
+func (ix *Index) NumEntries() int64 {
+	var total int64
+	for v := range ix.in {
+		total += int64(len(ix.in[v]) + len(ix.out[v]))
+	}
+	return total
+}
+
+// SizeBytes estimates the resident size (4 bytes per entry plus headers).
+func (ix *Index) SizeBytes() int64 {
+	return ix.NumEntries()*4 + int64(len(ix.in)+len(ix.out))*24
+}
+
+func intersects(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// sortedInvariant verifies both label sides are ascending — used by tests.
+func (ix *Index) sortedInvariant() error {
+	for v := range ix.in {
+		if !sort.SliceIsSorted(ix.in[v], func(i, j int) bool { return ix.in[v][i] < ix.in[v][j] }) {
+			return fmt.Errorf("plain: IN(%d) not sorted", v)
+		}
+		if !sort.SliceIsSorted(ix.out[v], func(i, j int) bool { return ix.out[v][i] < ix.out[v][j] }) {
+			return fmt.Errorf("plain: OUT(%d) not sorted", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package plain
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+func randomGraph(r *rand.Rand, n, numLabels, edges int) *graph.Graph {
+	b := graph.NewBuilder(n, numLabels)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(graph.Vertex(r.Intn(n)), graph.Label(r.Intn(numLabels)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// bruteReach computes plain reachability by label-blind BFS.
+func bruteReach(g *graph.Graph, s, t graph.Vertex) bool {
+	if s == t {
+		return true
+	}
+	seen := make([]bool, g.NumVertices())
+	seen[s] = true
+	queue := []graph.Vertex{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		dsts, _ := g.OutEdges(u)
+		for _, w := range dsts {
+			if w == t {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// TestPlainExhaustive: the labeling must agree with BFS on every pair of
+// every random graph.
+func TestPlainExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(800))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(14)
+		g := randomGraph(r, n, 2, r.Intn(3*n+1))
+		ix, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.sortedInvariant(); err != nil {
+			t.Fatal(err)
+		}
+		for s := graph.Vertex(0); int(s) < n; s++ {
+			for tt := graph.Vertex(0); int(tt) < n; tt++ {
+				want := bruteReach(g, s, tt)
+				got, err := ix.Reaches(s, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("trial %d: Reaches(%d,%d) = %v, BFS = %v\nedges %v", trial, s, tt, got, want, g.Edges())
+				}
+			}
+		}
+	}
+}
+
+func TestPlainValidation(t *testing.T) {
+	if _, err := Build(graph.NewBuilder(0, 0).Build()); err == nil {
+		t.Error("empty graph must fail")
+	}
+	ix, err := Build(graph.Fig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Reaches(-1, 0); err == nil {
+		t.Error("negative vertex must fail")
+	}
+	if _, err := ix.Reaches(0, 99); err == nil {
+		t.Error("out-of-range vertex must fail")
+	}
+	if ix.NumEntries() == 0 || ix.SizeBytes() <= 0 {
+		t.Error("empty stats")
+	}
+}
+
+// TestPlainInsufficientForRLC demonstrates the paper's core motivation: a
+// plain reachability index answers true where the RLC constraint fails,
+// because it ignores labels (Section II, "Plain Reachability Index").
+func TestPlainInsufficientForRLC(t *testing.T) {
+	g := graph.Fig2()
+	plainIx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlcIx, err := core.Build(g, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q3 of Example 4: v1 reaches v3, but not under (l1)+.
+	v1, _ := g.VertexByName("v1")
+	v3, _ := g.VertexByName("v3")
+	reach, err := plainIx.Reaches(v1, v3)
+	if err != nil || !reach {
+		t.Fatalf("plain Reaches(v1, v3) = %v, %v; want true", reach, err)
+	}
+	rlc, err := rlcIx.Query(v1, v3, labelseq.Seq{0})
+	if err != nil || rlc {
+		t.Fatalf("RLC Query(v1, v3, l1+) = %v, %v; want false", rlc, err)
+	}
+}
+
+// TestPlainIsSoundPrefilter: plain false implies RLC false for every
+// constraint — the negative pre-filter property.
+func TestPlainIsSoundPrefilter(t *testing.T) {
+	r := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(8)
+		g := randomGraph(r, n, 2, 2*n)
+		plainIx, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rlcIx, err := core.Build(g, core.Options{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range core.PrimitiveConstraints(2, 2) {
+			for s := graph.Vertex(0); int(s) < n; s++ {
+				for tt := graph.Vertex(0); int(tt) < n; tt++ {
+					if s == tt {
+						continue // plain treats self as trivially reachable
+					}
+					reach, err := plainIx.Reaches(s, tt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if reach {
+						continue
+					}
+					got, err := rlcIx.Query(s, tt, l)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got {
+						t.Fatalf("trial %d: plain says unreachable but RLC(%d,%d,%v+) true", trial, s, tt, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlainSmallerThanRLC: ignoring labels must not cost more than the
+// label-aware index on the same graph.
+func TestPlainSmallerThanRLC(t *testing.T) {
+	r := rand.New(rand.NewSource(802))
+	g := randomGraph(r, 50, 3, 200)
+	plainIx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlcIx, err := core.Build(g, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainIx.NumEntries() > rlcIx.NumEntries() {
+		t.Errorf("plain labeling (%d entries) larger than RLC index (%d) — unexpected",
+			plainIx.NumEntries(), rlcIx.NumEntries())
+	}
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the workload parser: arbitrary text either fails cleanly
+// or yields a workload that write/read round-trips.
+func FuzzRead(f *testing.F) {
+	f.Add("0 1 0,1 true\n2 3 1 false\n")
+	f.Add("# comment\n\n1 1 2 true\n")
+	f.Add("")
+	f.Add("1 2 3\n")
+	f.Add("a b c d\n")
+	f.Add("1 2 0 maybe\n")
+	f.Add("-1 2 0 true\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		wl, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, wl); err != nil {
+			t.Fatalf("accepted workload fails to write: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.True) != len(wl.True) || len(back.False) != len(wl.False) {
+			t.Fatalf("round trip changed sizes: %d/%d -> %d/%d",
+				len(wl.True), len(wl.False), len(back.True), len(back.False))
+		}
+	})
+}

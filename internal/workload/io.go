@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// The workload text format is one query per line:
+//
+//	src dst l1,l2,...,lk expected
+//
+// e.g. "14 19 3,4 true". Lines starting with '#' and blank lines are
+// ignored.
+
+// Write renders queries in the text format, true queries first.
+func Write(w io.Writer, wl Workload) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d true queries, %d false queries\n", len(wl.True), len(wl.False))
+	for _, q := range wl.All() {
+		labels := make([]string, len(q.L))
+		for i, l := range q.L {
+			labels[i] = strconv.Itoa(int(l))
+		}
+		fmt.Fprintf(bw, "%d %d %s %v\n", q.S, q.T, strings.Join(labels, ","), q.Expected)
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (Workload, error) {
+	var wl Workload
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return Workload{}, fmt.Errorf("workload: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		src, err1 := strconv.Atoi(fields[0])
+		dst, err2 := strconv.Atoi(fields[1])
+		expected, err3 := strconv.ParseBool(fields[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return Workload{}, fmt.Errorf("workload: line %d: malformed query", lineNo)
+		}
+		if src < 0 || dst < 0 {
+			return Workload{}, fmt.Errorf("workload: line %d: negative vertex", lineNo)
+		}
+		var l labelseq.Seq
+		for _, tok := range strings.Split(fields[2], ",") {
+			li, err := strconv.Atoi(tok)
+			if err != nil || li < 0 {
+				return Workload{}, fmt.Errorf("workload: line %d: bad label %q", lineNo, tok)
+			}
+			l = append(l, labelseq.Label(li))
+		}
+		q := Query{S: graph.Vertex(src), T: graph.Vertex(dst), L: l, Expected: expected}
+		if expected {
+			wl.True = append(wl.True, q)
+		} else {
+			wl.False = append(wl.False, q)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Workload{}, fmt.Errorf("workload: read: %w", err)
+	}
+	return wl, nil
+}
+
+// SaveFile writes a workload to path.
+func SaveFile(path string, wl Workload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, wl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a workload from path.
+func LoadFile(path string) (Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Workload{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}

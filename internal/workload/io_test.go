@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+func sampleWorkload() Workload {
+	return Workload{
+		True: []Query{
+			{S: 0, T: 3, L: labelseq.Seq{0, 1}, Expected: true},
+			{S: 2, T: 2, L: labelseq.Seq{1}, Expected: true},
+		},
+		False: []Query{
+			{S: 1, T: 0, L: labelseq.Seq{0}, Expected: false},
+		},
+	}
+}
+
+func TestWorkloadIORoundTrip(t *testing.T) {
+	wl := sampleWorkload()
+	var buf bytes.Buffer
+	if err := Write(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.True) != len(wl.True) || len(back.False) != len(wl.False) {
+		t.Fatalf("round trip: %d/%d true, %d/%d false", len(back.True), len(wl.True), len(back.False), len(wl.False))
+	}
+	for i, q := range wl.True {
+		b := back.True[i]
+		if b.S != q.S || b.T != q.T || !b.L.Equal(q.L) || !b.Expected {
+			t.Errorf("true[%d]: %+v != %+v", i, b, q)
+		}
+	}
+	for i, q := range wl.False {
+		b := back.False[i]
+		if b.S != q.S || b.T != q.T || !b.L.Equal(q.L) || b.Expected {
+			t.Errorf("false[%d]: %+v != %+v", i, b, q)
+		}
+	}
+}
+
+func TestWorkloadReadErrors(t *testing.T) {
+	cases := []string{
+		"1 2 0\n",           // 3 fields
+		"1 2 0 yes maybe\n", // 5 fields
+		"x 2 0 true\n",      // bad vertex
+		"1 2 a true\n",      // bad label
+		"1 2 0 nope\n",      // bad bool
+		"-1 2 0 true\n",     // negative vertex
+		"1 2 -3 true\n",     // negative label
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) should fail", in)
+		}
+	}
+}
+
+func TestWorkloadReadSkipsComments(t *testing.T) {
+	in := "# header\n\n0 1 0 true\n"
+	wl, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.True) != 1 || len(wl.False) != 0 {
+		t.Fatalf("got %d true, %d false", len(wl.True), len(wl.False))
+	}
+	if wl.True[0].S != graph.Vertex(0) || wl.True[0].T != graph.Vertex(1) {
+		t.Errorf("parsed query wrong: %+v", wl.True[0])
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/w.queries"
+	if err := SaveFile(path, sampleWorkload()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.All()) != 3 {
+		t.Errorf("file round trip lost queries: %d", len(back.All()))
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing"); err == nil {
+		t.Error("missing file must fail")
+	}
+}

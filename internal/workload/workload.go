@@ -1,0 +1,190 @@
+// Package workload generates RLC query workloads following Section VI-c of
+// the paper: per graph, a set of true-queries and a set of false-queries
+// (1000 each in the paper), with uniformly drawn endpoints and constraints,
+// ground-truthed by bidirectional BFS.
+//
+// Pure rejection sampling — the paper's method — finds true queries slowly
+// on sparse graphs, so a guided mode mines them by sampling a source and a
+// constraint and picking a reachable target from an online search. Both
+// modes produce queries with exactly the same admissibility guarantees
+// (primitive constraints of the requested length); the guided mode only
+// changes how fast true queries are found. Generators are deterministic
+// under their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/g-rpqs/rlc-go/internal/automaton"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/traversal"
+)
+
+// Query is one RLC query with its ground-truth answer.
+type Query struct {
+	S, T     graph.Vertex
+	L        labelseq.Seq
+	Expected bool
+}
+
+// Options configures Generate.
+type Options struct {
+	// NumTrue and NumFalse are the workload sizes; the paper uses 1000
+	// each.
+	NumTrue, NumFalse int
+	// ConcatLen is the exact length of every constraint (the paper fixes
+	// it per workload, e.g. 2 for the Table IV/Figure 3 experiments).
+	ConcatLen int
+	// Seed makes the workload reproducible.
+	Seed int64
+	// PureRejection disables guided mining of true queries, exactly
+	// reproducing the paper's uniform rejection sampling. May be slow on
+	// sparse graphs.
+	PureRejection bool
+	// MaxAttempts bounds rejection sampling per bucket before giving up
+	// (0 = 200 x requested size).
+	MaxAttempts int
+}
+
+// Workload is a generated set of true- and false-queries.
+type Workload struct {
+	True  []Query
+	False []Query
+}
+
+// All returns the concatenation of both buckets.
+func (w Workload) All() []Query {
+	out := make([]Query, 0, len(w.True)+len(w.False))
+	out = append(out, w.True...)
+	return append(out, w.False...)
+}
+
+// Generate builds a workload for g.
+func Generate(g *graph.Graph, opts Options) (Workload, error) {
+	if opts.ConcatLen < 1 {
+		return Workload{}, fmt.Errorf("workload: ConcatLen must be >= 1, got %d", opts.ConcatLen)
+	}
+	if g.NumLabels() == 0 || g.NumEdges() == 0 {
+		return Workload{}, fmt.Errorf("workload: graph has no labeled edges")
+	}
+	if opts.ConcatLen > 1 && g.NumLabels() == 1 {
+		return Workload{}, fmt.Errorf("workload: no primitive constraint of length %d exists over 1 label", opts.ConcatLen)
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 200 * (opts.NumTrue + opts.NumFalse + 1)
+	}
+
+	r := rand.New(rand.NewSource(opts.Seed))
+	ev := traversal.NewEvaluator(g)
+	n := g.NumVertices()
+	var w Workload
+
+	nfaCache := map[string]*automaton.NFA{}
+	nfaOf := func(l labelseq.Seq) (*automaton.NFA, error) {
+		key := l.String()
+		if nfa, ok := nfaCache[key]; ok {
+			return nfa, nil
+		}
+		nfa, err := automaton.NewPlus(l, g.NumLabels())
+		if err != nil {
+			return nil, err
+		}
+		nfaCache[key] = nfa
+		return nfa, nil
+	}
+
+	// Phase 1: uniform rejection sampling, filling both buckets — this is
+	// the paper's procedure verbatim.
+	for attempts := 0; attempts < maxAttempts; attempts++ {
+		if len(w.True) >= opts.NumTrue && len(w.False) >= opts.NumFalse {
+			break
+		}
+		s := graph.Vertex(r.Intn(n))
+		t := graph.Vertex(r.Intn(n))
+		l := randomPrimitive(r, g.NumLabels(), opts.ConcatLen)
+		nfa, err := nfaOf(l)
+		if err != nil {
+			return Workload{}, err
+		}
+		if ev.BiBFS(s, t, nfa) {
+			if len(w.True) < opts.NumTrue {
+				w.True = append(w.True, Query{s, t, l, true})
+			}
+		} else if len(w.False) < opts.NumFalse {
+			w.False = append(w.False, Query{s, t, l, false})
+		}
+	}
+
+	// Phase 2: guided mining for any true queries rejection sampling did
+	// not find in budget.
+	if !opts.PureRejection {
+		for attempts := 0; len(w.True) < opts.NumTrue && attempts < maxAttempts; attempts++ {
+			s := graph.Vertex(r.Intn(n))
+			l := randomPrimitive(r, g.NumLabels(), opts.ConcatLen)
+			nfa, err := nfaOf(l)
+			if err != nil {
+				return Workload{}, err
+			}
+			reach := ev.ReachableFrom(s, nfa)
+			if len(reach) == 0 {
+				continue
+			}
+			t := reach[r.Intn(len(reach))]
+			w.True = append(w.True, Query{s, t, l, true})
+		}
+		// Phase 3: random-walk mining — on sparse graphs, random
+		// constraints rarely match any path, so mine the constraint FROM
+		// a path instead: a walk of exactly ConcatLen edges whose label
+		// sequence is primitive witnesses (start, end, labels+) = true.
+		for attempts := 0; len(w.True) < opts.NumTrue && attempts < maxAttempts; attempts++ {
+			if q, ok := mineWalk(r, g, opts.ConcatLen); ok {
+				w.True = append(w.True, q)
+			}
+		}
+	}
+
+	if len(w.True) < opts.NumTrue || len(w.False) < opts.NumFalse {
+		return w, fmt.Errorf("workload: generated %d/%d true and %d/%d false queries within budget",
+			len(w.True), opts.NumTrue, len(w.False), opts.NumFalse)
+	}
+	return w, nil
+}
+
+// mineWalk samples a uniform random walk of exactly length edges; when its
+// label sequence is primitive, the walk itself witnesses the true query
+// (start, end, labels+).
+func mineWalk(r *rand.Rand, g *graph.Graph, length int) (Query, bool) {
+	s := graph.Vertex(r.Intn(g.NumVertices()))
+	cur := s
+	l := make(labelseq.Seq, 0, length)
+	for step := 0; step < length; step++ {
+		dsts, lbls := g.OutEdges(cur)
+		if len(dsts) == 0 {
+			return Query{}, false
+		}
+		i := r.Intn(len(dsts))
+		cur = dsts[i]
+		l = append(l, lbls[i])
+	}
+	if !labelseq.IsPrimitive(l) {
+		return Query{}, false
+	}
+	return Query{S: s, T: cur, L: l, Expected: true}, true
+}
+
+// randomPrimitive draws a uniform label sequence of the given length,
+// re-drawing until it is primitive (L = MR(L)), as Definition 1 requires.
+func randomPrimitive(r *rand.Rand, numLabels, length int) labelseq.Seq {
+	for {
+		l := make(labelseq.Seq, length)
+		for i := range l {
+			l[i] = labelseq.Label(r.Intn(numLabels))
+		}
+		if labelseq.IsPrimitive(l) {
+			return l
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/gen"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/traversal"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.BA(300, 3, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := testGraph(t)
+	w, err := Generate(g, Options{NumTrue: 50, NumFalse: 50, ConcatLen: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.True) != 50 || len(w.False) != 50 {
+		t.Fatalf("got %d true, %d false", len(w.True), len(w.False))
+	}
+	if len(w.All()) != 100 {
+		t.Errorf("All() = %d", len(w.All()))
+	}
+	for _, q := range w.All() {
+		if len(q.L) != 2 {
+			t.Fatalf("constraint %v has wrong length", q.L)
+		}
+		if !labelseq.IsPrimitive(q.L) {
+			t.Fatalf("constraint %v not primitive", q.L)
+		}
+	}
+}
+
+// TestGroundTruth re-verifies every generated query against an independent
+// BFS.
+func TestGroundTruth(t *testing.T) {
+	g := testGraph(t)
+	w, err := Generate(g, Options{NumTrue: 30, NumFalse: 30, ConcatLen: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.All() {
+		got, err := traversal.EvalRLC(g, q.S, q.T, q.L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != q.Expected {
+			t.Fatalf("query (%d,%d,%v+): generator says %v, BFS says %v", q.S, q.T, q.L, q.Expected, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph(t)
+	a, err := Generate(g, Options{NumTrue: 20, NumFalse: 20, ConcatLen: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, Options{NumTrue: 20, NumFalse: 20, ConcatLen: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.True {
+		if a.True[i].S != b.True[i].S || a.True[i].T != b.True[i].T || !a.True[i].L.Equal(b.True[i].L) {
+			t.Fatal("true workloads differ across identical seeds")
+		}
+	}
+	for i := range a.False {
+		if a.False[i].S != b.False[i].S || a.False[i].T != b.False[i].T || !a.False[i].L.Equal(b.False[i].L) {
+			t.Fatal("false workloads differ across identical seeds")
+		}
+	}
+}
+
+func TestConcatLenOne(t *testing.T) {
+	g := testGraph(t)
+	w, err := Generate(g, Options{NumTrue: 10, NumFalse: 10, ConcatLen: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.All() {
+		if len(q.L) != 1 {
+			t.Fatalf("constraint %v should have length 1", q.L)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Generate(g, Options{NumTrue: 1, NumFalse: 1, ConcatLen: 0}); err == nil {
+		t.Error("zero concat length must fail")
+	}
+	empty := graph.NewBuilder(3, 0).Build()
+	if _, err := Generate(empty, Options{NumTrue: 1, NumFalse: 1, ConcatLen: 1}); err == nil {
+		t.Error("edgeless graph must fail")
+	}
+	oneLabel := graph.FromEdges(2, 1, []graph.Edge{{Src: 0, Dst: 1, Label: 0}})
+	if _, err := Generate(oneLabel, Options{NumTrue: 1, NumFalse: 1, ConcatLen: 2}); err == nil {
+		t.Error("length-2 constraints over one label must fail (none primitive)")
+	}
+}
+
+// TestPureRejectionOnDenseGraph: rejection sampling alone must fill both
+// buckets on a graph dense enough for true queries to occur naturally.
+func TestPureRejectionOnDenseGraph(t *testing.T) {
+	g, err := gen.ER(60, 360, 2, 42) // avg degree 6: both buckets occur naturally
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Generate(g, Options{NumTrue: 10, NumFalse: 10, ConcatLen: 1, Seed: 7, PureRejection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.All() {
+		got, err := traversal.EvalRLC(g, q.S, q.T, q.L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != q.Expected {
+			t.Fatal("rejection-sampled query mislabeled")
+		}
+	}
+}
+
+// TestBudgetExhaustion: an impossible request (true queries on a graph with
+// no matching paths) must fail with a descriptive error, not hang.
+func TestBudgetExhaustion(t *testing.T) {
+	// A single edge cannot satisfy any length-2 constraint.
+	g := graph.FromEdges(2, 2, []graph.Edge{{Src: 0, Dst: 1, Label: 0}})
+	_, err := Generate(g, Options{NumTrue: 5, NumFalse: 5, ConcatLen: 2, Seed: 1, MaxAttempts: 500})
+	if err == nil {
+		t.Fatal("expected budget exhaustion error")
+	}
+}

@@ -1,0 +1,277 @@
+// Package rlc is a Go implementation of the RLC index from "A Reachability
+// Index for Recursive Label-Concatenated Graph Queries" (Zhang, Bonifati,
+// Kapp, Haprian, Lozi — ICDE 2023): the first reachability index for RLC
+// queries (s, t, L+), which ask whether some path from s to t carries a
+// label sequence that is one or more repetitions of the label concatenation
+// L = (l1, ..., lk).
+//
+// # Quick start
+//
+//	b := rlc.NewGraphBuilder(0, 0)
+//	b.AddEdge(0, 0 /* label */, 1)
+//	b.AddEdge(1, 1, 2)
+//	g := b.Build()
+//
+//	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
+//	if err != nil { ... }
+//	ok, err := ix.Query(0, 2, rlc.Seq{0, 1}) // is there an (l0 l1)+ path 0 -> 2?
+//
+// The package also ships the paper's baselines (NFA-guided BFS and BiBFS,
+// the extended transitive closure), three mainstream-engine comparators,
+// synthetic graph generators (Erdős–Rényi, Barabási–Albert, Zipfian
+// labels), workload generation, and a benchmark harness reproducing every
+// table and figure of the paper's evaluation (see cmd/rlcbench and
+// EXPERIMENTS.md).
+package rlc
+
+import (
+	"io"
+
+	"github.com/g-rpqs/rlc-go/internal/automaton"
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/dynamic"
+	"github.com/g-rpqs/rlc-go/internal/etc"
+	"github.com/g-rpqs/rlc-go/internal/gen"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/hybrid"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/plain"
+	"github.com/g-rpqs/rlc-go/internal/traversal"
+	"github.com/g-rpqs/rlc-go/internal/workload"
+)
+
+// Core graph and label types.
+type (
+	// Graph is an immutable edge-labeled directed graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates labeled edges.
+	GraphBuilder = graph.Builder
+	// Edge is a directed labeled edge.
+	Edge = graph.Edge
+	// Vertex is a dense 0-based vertex id.
+	Vertex = graph.Vertex
+	// Label is a dense 0-based edge-label id.
+	Label = labelseq.Label
+	// Seq is a sequence of edge labels; RLC constraints are Seqs.
+	Seq = labelseq.Seq
+	// GraphStats summarizes a graph (Table III style).
+	GraphStats = graph.Stats
+)
+
+// Index types.
+type (
+	// Index is the RLC index (Definition 4).
+	Index = core.Index
+	// Options configures BuildIndex.
+	Options = core.Options
+	// IndexStats summarizes an index.
+	IndexStats = core.Stats
+	// EntryView is a decoded index entry.
+	EntryView = core.EntryView
+)
+
+// Expression types for extended queries (Section VI-C).
+type (
+	// Expr is a path expression: a concatenation of plus segments.
+	Expr = automaton.Expr
+	// Segment is one piece of an Expr.
+	Segment = automaton.Segment
+)
+
+// Errors re-exported from the index implementation.
+var (
+	ErrNotMinimumRepeat  = core.ErrNotMinimumRepeat
+	ErrConstraintTooLong = core.ErrConstraintTooLong
+	ErrUnknownLabel      = core.ErrUnknownLabel
+	ErrVertexRange       = core.ErrVertexRange
+	ErrEmptyConstraint   = core.ErrEmptyConstraint
+)
+
+// DefaultK is the recursive k used when Options.K is zero.
+const DefaultK = core.DefaultK
+
+// MaxK is the largest supported recursive k.
+const MaxK = core.MaxK
+
+// Vertex processing orders for Options.Order (ablation knobs; the zero
+// value OrderInOut is the paper's strategy).
+const (
+	OrderInOut     = core.OrderInOut
+	OrderDegreeSum = core.OrderDegreeSum
+	OrderNatural   = core.OrderNatural
+	OrderReverse   = core.OrderReverse
+)
+
+// PlainIndex is a pruned 2-hop labeling for plain (label-blind)
+// reachability — the classical framework the RLC index generalizes. Use it
+// as a negative pre-filter: if Reaches(s, t) is false, every RLC query
+// (s, t, L+) is false.
+type PlainIndex = plain.Index
+
+// BuildPlainIndex constructs the plain-reachability labeling of g.
+func BuildPlainIndex(g *Graph) (*PlainIndex, error) { return plain.Build(g) }
+
+// NewGraphBuilder returns a builder for a graph with n vertices and
+// numLabels labels; both grow as edges are added.
+func NewGraphBuilder(n, numLabels int) *GraphBuilder { return graph.NewBuilder(n, numLabels) }
+
+// GraphFromEdges builds a graph directly from an edge list.
+func GraphFromEdges(n, numLabels int, edges []Edge) *Graph {
+	return graph.FromEdges(n, numLabels, edges)
+}
+
+// ReadGraph parses the text edge-list format ("src dst label" lines).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph renders a graph in the text edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// LoadGraphFile reads a graph from a text file.
+func LoadGraphFile(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraphFile writes a graph to a text file.
+func SaveGraphFile(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// ComputeGraphStats derives Table III-style statistics.
+func ComputeGraphStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// BuildIndex constructs the RLC index for g (Algorithm 2).
+func BuildIndex(g *Graph, opts Options) (*Index, error) { return core.Build(g, opts) }
+
+// BuildStats counts what BuildIndexWithStats did during construction.
+type BuildStats = core.BuildStats
+
+// BuildIndexWithStats is BuildIndex plus construction counters (kernel
+// searches run, entries inserted, inserts pruned per rule).
+func BuildIndexWithStats(g *Graph, opts Options) (*Index, BuildStats, error) {
+	return core.BuildWithStats(g, opts)
+}
+
+// LoadIndex deserializes an index written with (*Index).Write, binding it
+// to g.
+func LoadIndex(r io.Reader, g *Graph) (*Index, error) { return core.Load(r, g) }
+
+// LoadIndexFile reads an index file and binds it to g.
+func LoadIndexFile(path string, g *Graph) (*Index, error) { return core.LoadFile(path, g) }
+
+// MinimumRepeat returns MR(s): the unique shortest sequence whose repetition
+// is s (Lemma 1).
+func MinimumRepeat(s Seq) Seq { return labelseq.MinimumRepeat(s) }
+
+// IsMinimumRepeat reports whether l is its own minimum repeat — the
+// admissibility condition for RLC constraints (Definition 1).
+func IsMinimumRepeat(l Seq) bool { return labelseq.IsPrimitive(l) }
+
+// EvalBFS answers (s, t, L+) by NFA-guided breadth-first search — the
+// paper's first online baseline.
+func EvalBFS(g *Graph, s, t Vertex, l Seq) (bool, error) { return traversal.EvalRLC(g, s, t, l) }
+
+// EvalBiBFS answers (s, t, L+) by bidirectional BFS — the paper's second
+// online baseline.
+func EvalBiBFS(g *Graph, s, t Vertex, l Seq) (bool, error) { return traversal.EvalRLCBi(g, s, t, l) }
+
+// EvalDFS answers (s, t, L+) by NFA-guided depth-first search — noted by
+// the paper as the BFS alternative with identical complexity.
+func EvalDFS(g *Graph, s, t Vertex, l Seq) (bool, error) {
+	nfa, err := automaton.NewPlus(l, g.NumLabels())
+	if err != nil {
+		return false, err
+	}
+	return traversal.NewEvaluator(g).DFS(s, t, nfa), nil
+}
+
+// ETC types and constructors (the extended-transitive-closure baseline).
+type (
+	// ETC is the materialized extended transitive closure.
+	ETC = etc.ETC
+	// ETCOptions bounds ETC construction.
+	ETCOptions = etc.Options
+)
+
+// BuildETC materializes the extended transitive closure of g.
+func BuildETC(g *Graph, opts ETCOptions) (*ETC, error) { return etc.Build(g, opts) }
+
+// HybridEvaluator answers extended queries (e.g. a+ b+) by combining the
+// index with online traversal (Section VI-C).
+type HybridEvaluator = hybrid.Evaluator
+
+// NewHybridEvaluator returns a hybrid evaluator over the index's graph.
+func NewHybridEvaluator(ix *Index) *HybridEvaluator { return hybrid.New(ix) }
+
+// PlusExpr returns the single-segment RLC expression L+.
+func PlusExpr(l Seq) Expr { return automaton.Plus(l) }
+
+// ConcatPlusExpr returns l1+ ∘ l2+ ∘ ... (the Q4 query shape).
+func ConcatPlusExpr(ls ...Seq) Expr { return automaton.ConcatPlus(ls...) }
+
+// ParseExpr parses the textual expression syntax, resolving label names
+// against g ("(debits credits)+", "knows+", "a+ b+"). Graphs without label
+// names accept "l0"/"0" tokens.
+func ParseExpr(s string, g *Graph) (Expr, error) {
+	return automaton.Parse(s, func(tok string) (Label, bool) {
+		if l, ok := g.LabelByName(tok); ok {
+			return l, true
+		}
+		l, ok := automaton.NumericLabels(tok)
+		if !ok || int(l) >= g.NumLabels() {
+			return l, false
+		}
+		return l, ok
+	})
+}
+
+// Workload types and generation (Section VI-c).
+type (
+	// Query is one RLC query with its ground-truth answer.
+	Query = workload.Query
+	// Workload is a generated true/false query-set pair.
+	Workload = workload.Workload
+	// WorkloadOptions configures GenerateWorkload.
+	WorkloadOptions = workload.Options
+)
+
+// GenerateWorkload builds a ground-truthed query workload for g.
+func GenerateWorkload(g *Graph, opts WorkloadOptions) (Workload, error) {
+	return workload.Generate(g, opts)
+}
+
+// GenerateER generates a directed Erdős–Rényi G(n, m) graph with Zipfian
+// labels.
+func GenerateER(n, m, numLabels int, seed int64) (*Graph, error) {
+	return gen.ER(n, m, numLabels, seed)
+}
+
+// GenerateBA generates a directed Barabási–Albert graph (m out-edges per
+// new vertex) with Zipfian labels.
+func GenerateBA(n, m, numLabels int, seed int64) (*Graph, error) {
+	return gen.BA(n, m, numLabels, seed)
+}
+
+// Dynamic-graph extension: the paper's index is static; DeltaGraph overlays
+// edge insertions with exact, index-accelerated query answers and
+// threshold-based rebuilds (see internal/dynamic).
+type (
+	// DeltaGraph is an RLC-indexed graph accepting edge insertions.
+	DeltaGraph = dynamic.DeltaGraph
+	// DeltaOptions configures a DeltaGraph.
+	DeltaOptions = dynamic.Options
+)
+
+// ErrDeletionsUnsupported is returned by DeltaGraph.RemoveEdge.
+var ErrDeletionsUnsupported = dynamic.ErrDeletionsUnsupported
+
+// NewDeltaGraph wraps an already-indexed graph for edge insertions.
+func NewDeltaGraph(g *Graph, ix *Index, opts DeltaOptions) *DeltaGraph {
+	return dynamic.New(g, ix, opts)
+}
+
+// BuildDeltaGraph indexes g and wraps it in one step.
+func BuildDeltaGraph(g *Graph, opts DeltaOptions) (*DeltaGraph, error) {
+	return dynamic.Build(g, opts)
+}
+
+// ExampleFig1 returns the paper's Figure 1 social/financial network.
+func ExampleFig1() *Graph { return graph.Fig1() }
+
+// ExampleFig2 returns the paper's Figure 2 running-example graph.
+func ExampleFig2() *Graph { return graph.Fig2() }
