@@ -61,6 +61,14 @@ func TestCLIPipeline(t *testing.T) {
 		}
 	}
 
+	// 50 queries clamp below the requested 4 workers (chunked scheduling),
+	// and the tool reports the effective count.
+	out = run("rlcquery", "-graph", graphFile, "-queries", queryFile,
+		"-index", indexFile, "-batch", "-workers", "4")
+	if !strings.Contains(out, "50/50 match ground truth") || !strings.Contains(out, "1 workers") {
+		t.Errorf("rlcquery batch: %s", out)
+	}
+
 	out = run("rlcquery", "-graph", graphFile, "-index", indexFile,
 		"-s", "0", "-t", "1", "-expr", "(l0 l1)+")
 	if !strings.Contains(out, "(0, 1, (l0 l1)+) =") {

@@ -4,10 +4,15 @@
 //	rlcquery -graph g.graph -index g.rlc -s 14 -t 19 -expr "(debits credits)+"
 //	rlcquery -graph g.graph -method bibfs -s 0 -t 5 -expr "(l0 l1)+"
 //	rlcquery -graph g.graph -index g.rlc -queries g.queries
+//	rlcquery -graph g.graph -index g.rlc -queries g.queries -batch -workers 8
 //
 // Methods: index (default; builds the index on the fly when -index is not
 // given), hybrid (index + traversal, supports multi-segment expressions such
 // as "a+ b+"), bfs, bibfs, dfs.
+//
+// With -queries, -batch switches the index method to the concurrent
+// QueryBatch API: the whole workload is answered by -workers parallel
+// workers (0 = GOMAXPROCS) instead of one query at a time.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 		t         = flag.Int("t", -1, "target vertex id")
 		expr      = flag.String("expr", "", "path expression, e.g. \"(l0 l1)+\" or \"a+ b+\"")
 		queries   = flag.String("queries", "", "workload file from rlcgen (one query per line)")
+		batch     = flag.Bool("batch", false, "answer the -queries workload via the concurrent QueryBatch API (method index only)")
+		workers   = flag.Int("workers", 0, "worker goroutines for -batch (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -53,6 +60,14 @@ func main() {
 	}
 
 	switch {
+	case *batch && *queries == "":
+		fatalf("-batch needs -queries")
+	case *batch && *method != "index":
+		fatalf("-batch supports only -method index, got %q", *method)
+	case *batch:
+		if err := runBatchWorkload(ix, *queries, *workers); err != nil {
+			fatalf("%v", err)
+		}
 	case *queries != "":
 		if err := runWorkload(g, ix, *method, *queries); err != nil {
 			fatalf("%v", err)
@@ -139,6 +154,41 @@ func runWorkload(g *rlc.Graph, ix *rlc.Index, method, path string) error {
 	elapsed := time.Since(start)
 	fmt.Printf("%d queries in %v (%.1f µs/query) via %s; %d/%d match ground truth\n",
 		len(qs), elapsed, float64(elapsed.Microseconds())/float64(len(qs)), method, correct, len(qs))
+	if correct != len(qs) {
+		return fmt.Errorf("%d queries disagree with ground truth", len(qs)-correct)
+	}
+	return nil
+}
+
+func runBatchWorkload(ix *rlc.Index, path string, workers int) error {
+	wl, err := workload.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	qs := wl.All()
+	batch := make([]rlc.BatchQuery, len(qs))
+	for i, q := range qs {
+		batch[i] = rlc.BatchQuery{S: q.S, T: q.T, L: q.L}
+	}
+	// Report the worker count QueryBatch actually runs — small workloads
+	// clamp below the requested parallelism.
+	workers = rlc.EffectiveBatchWorkers(len(batch), workers)
+
+	start := time.Now()
+	results := ix.QueryBatch(batch, workers)
+	elapsed := time.Since(start)
+
+	correct := 0
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("query %d (%d, %d, %v): %w", i, qs[i].S, qs[i].T, qs[i].L, res.Err)
+		}
+		if res.Reachable == qs[i].Expected {
+			correct++
+		}
+	}
+	fmt.Printf("%d queries in %v (%.1f µs/query) via batch index, %d workers; %d/%d match ground truth\n",
+		len(qs), elapsed, float64(elapsed.Microseconds())/float64(len(qs)), workers, correct, len(qs))
 	if correct != len(qs) {
 		return fmt.Errorf("%d queries disagree with ground truth", len(qs)-correct)
 	}

@@ -65,4 +65,19 @@ func main() {
 	for _, e := range ix.LoutEntries(v("v3")) {
 		fmt.Printf("  (%s, %s)\n", g.VertexName(e.Hub), e.MR.Format(g.LabelNames()))
 	}
+
+	// Batch queries: the same three queries answered in one QueryBatch
+	// call. The index is immutable, so the batch fans out over a worker
+	// pool (0 = GOMAXPROCS) and the results come back in request order.
+	batch := make([]rlc.BatchQuery, len(queries))
+	for i, q := range queries {
+		batch[i] = rlc.BatchQuery{S: q.s, T: q.t, L: q.l}
+	}
+	fmt.Printf("\nQueryBatch over the same queries:\n")
+	for i, res := range ix.QueryBatch(batch, 0) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("%-22s = %v\n", queries[i].name, res.Reachable)
+	}
 }

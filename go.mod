@@ -1,0 +1,3 @@
+module github.com/g-rpqs/rlc-go
+
+go 1.24

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/datasets"
+	"github.com/g-rpqs/rlc-go/internal/workload"
+)
+
+// RunBatch measures concurrent batch-query throughput: the fig3 workload
+// (true + false query sets, concatenation length 2, k = 2) answered one
+// query at a time versus through Index.QueryBatch with GOMAXPROCS workers.
+// Every batch answer is verified against the workload's ground truth before
+// anything is timed.
+func RunBatch(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	workers := runtime.GOMAXPROCS(0)
+	tab := &Table{
+		ID:      "batch",
+		Title:   fmt.Sprintf("Batch-query throughput: sequential Query vs QueryBatch (%d workers)", workers),
+		Columns: []string{"Dataset", "Queries", "Sequential (µs)", "Batch (µs)", "Speedup"},
+		Notes:   []string{"Best of 3 rounds per cell; both sides answer the combined fig3 true+false query sets."},
+	}
+
+	for _, d := range datasets.All() {
+		if !cfg.wantDataset(d.Name) {
+			continue
+		}
+		cfg.progressf("batch: %s", d.Name)
+		g, err := replica(cfg, d)
+		if err != nil {
+			return nil, fmt.Errorf("batch: %s: %w", d.Name, err)
+		}
+		w, err := buildWorkload(cfg, g, 2)
+		if err != nil {
+			return nil, fmt.Errorf("batch: %s: %w", d.Name, err)
+		}
+		ix, err := core.Build(g, core.Options{K: 2})
+		if err != nil {
+			return nil, fmt.Errorf("batch: %s: %w", d.Name, err)
+		}
+
+		qs := w.All()
+		batch := make([]core.BatchQuery, len(qs))
+		for i, q := range qs {
+			batch[i] = core.BatchQuery{S: q.S, T: q.T, L: q.L}
+		}
+
+		// Correctness gate: a throughput number from wrong answers would be
+		// meaningless.
+		for i, res := range ix.QueryBatch(batch, workers) {
+			if res.Err != nil {
+				return nil, fmt.Errorf("batch: %s: query %d: %w", d.Name, i, res.Err)
+			}
+			if res.Reachable != qs[i].Expected {
+				return nil, fmt.Errorf("batch: %s: QueryBatch answered %v for (%d, %d, %v+), ground truth %v",
+					d.Name, res.Reachable, qs[i].S, qs[i].T, qs[i].L, qs[i].Expected)
+			}
+		}
+
+		seq, err := bestOf(3, func() error {
+			_, err := timeQuerySet(qs, 0, func(q workload.Query) (bool, error) {
+				return ix.Query(q.S, q.T, q.L)
+			})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("batch: %s: sequential: %w", d.Name, err)
+		}
+		// Reuse one result buffer across rounds, like a server answering a
+		// stream of batches would.
+		var buf []core.BatchResult
+		par, err := bestOf(3, func() error {
+			buf = ix.QueryBatchInto(batch, workers, buf)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("batch: %s: parallel: %w", d.Name, err)
+		}
+
+		speedup := float64(seq) / float64(par)
+		tab.Rows = append(tab.Rows, []string{
+			d.Name,
+			fmt.Sprintf("%d", len(qs)),
+			fmtMicros(seq),
+			fmtMicros(par),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+	return []*Table{tab}, nil
+}
+
+// bestOf runs f rounds times and returns the fastest wall-clock duration.
+func bestOf(rounds int, f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

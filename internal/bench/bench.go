@@ -212,6 +212,7 @@ func Experiments() []Experiment {
 		{ID: "fig7", Title: "Impact of recursive k (synthetic graphs)", Run: RunFig7},
 		{ID: "table5", Title: "Speed-ups and break-even points over graph engines", Run: RunTable5},
 		{ID: "ablation", Title: "Pruning-rule ablation (extension)", Run: RunAblation},
+		{ID: "batch", Title: "Concurrent batch-query throughput (extension)", Run: RunBatch},
 	}
 }
 

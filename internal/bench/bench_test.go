@@ -30,8 +30,8 @@ func microConfig() Config {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(exps))
+	if len(exps) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(exps))
 	}
 	for _, e := range exps {
 		got, err := ByID(e.ID)
@@ -153,4 +153,12 @@ func TestConfigDefaults(t *testing.T) {
 func TestRunAblationMicro(t *testing.T) {
 	tables, err := RunAblation(microConfig())
 	checkTables(t, tables, err, 5)
+}
+
+func TestRunBatchMicro(t *testing.T) {
+	tables, err := RunBatch(microConfig())
+	checkTables(t, tables, err, 2) // AD and TW rows
+	if len(tables) != 1 {
+		t.Fatalf("batch should produce one table, got %d", len(tables))
+	}
 }

@@ -26,9 +26,10 @@ type Distribution struct {
 // EntryDistribution returns the distribution of |Lin(v)| + |Lout(v)| over
 // vertices.
 func (ix *Index) EntryDistribution() Distribution {
-	counts := make([]int, 0, len(ix.in))
-	for v := range ix.in {
-		if c := len(ix.in[v]) + len(ix.out[v]); c > 0 {
+	n := ix.g.NumVertices()
+	counts := make([]int, 0, n)
+	for v := graph.Vertex(0); int(v) < n; v++ {
+		if c := len(ix.lin(v)) + len(ix.lout(v)); c > 0 {
 			counts = append(counts, c)
 		}
 	}
@@ -40,13 +41,8 @@ func (ix *Index) EntryDistribution() Distribution {
 // means queries repeatedly merge-join through the same few hubs.
 func (ix *Index) HubDistribution() Distribution {
 	perHub := make([]int, len(ix.order))
-	for v := range ix.in {
-		for _, e := range ix.in[v] {
-			perHub[e.hub]++
-		}
-		for _, e := range ix.out[v] {
-			perHub[e.hub]++
-		}
+	for _, e := range ix.entries {
+		perHub[e.hub]++
 	}
 	counts := perHub[:0]
 	for _, c := range perHub {

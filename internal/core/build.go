@@ -74,8 +74,6 @@ func BuildWithStats(g *graph.Graph, opts Options) (*Index, BuildStats, error) {
 		dict:  dict,
 		order: accessOrder(g, opts.Order),
 		rank:  make([]int32, n),
-		in:    make([][]entry, n),
-		out:   make([][]entry, n),
 	}
 	for r, v := range ix.order {
 		ix.rank[v] = int32(r)
@@ -85,6 +83,9 @@ func BuildWithStats(g *graph.Graph, opts Options) (*Index, BuildStats, error) {
 	for _, v := range ix.order {
 		b.kbs(v, backward)
 		b.kbs(v, forward)
+	}
+	if err := ix.freeze(b.out, b.in); err != nil {
+		return nil, b.stats, err
 	}
 	return ix, b.stats, nil
 }
@@ -169,12 +170,20 @@ type kernelFrontier struct {
 	member map[graph.Vertex]struct{}
 }
 
-// builder holds the reusable scratch space for all KBS runs of one Build.
+// builder holds the reusable scratch space for all KBS runs of one Build,
+// plus the mutable per-vertex entry lists that insert appends to. The lists
+// stay per-vertex during construction (cheap appends, no shifting) and are
+// compacted into the Index's flat CSR layout by freeze once the last KBS
+// finished.
 type builder struct {
 	ix    *Index
 	g     *graph.Graph
 	coder *labelseq.Coder
 	k     int
+
+	// Mutable Lin/Lout under construction, indexed by vertex id.
+	in  [][]entry
+	out [][]entry
 
 	// Label-partitioned adjacency: kernel-BFS follows edges of one
 	// expected label at a time, so edges are regrouped by label once
@@ -216,6 +225,8 @@ func newBuilder(ix *Index) *builder {
 		g:          ix.g,
 		coder:      ix.dict.Coder(),
 		k:          ix.k,
+		in:         make([][]entry, ix.g.NumVertices()),
+		out:        make([][]entry, ix.g.NumVertices()),
 		inByLabel:  newLabelCSR(ix.g, true),
 		outByLabel: newLabelCSR(ix.g, false),
 		seen:       make(map[dedupKey]struct{}),
@@ -317,9 +328,9 @@ func (b *builder) kbs(src graph.Vertex, dir direction) {
 	clear(b.fixedSet)
 	var fixed []entry
 	if dir == backward {
-		fixed = b.ix.in[src]
+		fixed = b.in[src]
 	} else {
-		fixed = b.ix.out[src]
+		fixed = b.out[src]
 	}
 	for _, e := range fixed {
 		b.fixedSet[fixedKey(e.mr, e.hub)] = struct{}{}
@@ -512,9 +523,9 @@ func (b *builder) insert(y, src graph.Vertex, dir direction, mr labelseq.Seq, mr
 
 	var yList []entry
 	if dir == backward {
-		yList = ix.out[y]
+		yList = b.out[y]
 	} else {
-		yList = ix.in[y]
+		yList = b.in[y]
 	}
 
 	id := ix.dict.LookupCode(mrCode)
@@ -553,9 +564,9 @@ func (b *builder) insert(y, src graph.Vertex, dir direction, mr labelseq.Seq, mr
 	}
 	e := entry{hub: ix.rank[src], mr: id}
 	if dir == backward {
-		ix.out[y] = append(ix.out[y], e)
+		b.out[y] = append(b.out[y], e)
 	} else {
-		ix.in[y] = append(ix.in[y], e)
+		b.in[y] = append(b.in[y], e)
 	}
 	b.stats.Inserted++
 	return inserted

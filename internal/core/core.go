@@ -23,6 +23,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/g-rpqs/rlc-go/internal/graph"
@@ -101,6 +102,13 @@ type entry struct {
 
 // Index is an immutable RLC index over a fixed graph. Queries are safe for
 // concurrent use; building is not concurrent.
+//
+// All Lin/Lout entry lists live in one contiguous entries slice in CSR
+// fashion: the Lout lists of every vertex first, then the Lin lists, with
+// one offset array per direction. Build and Load construct into per-vertex
+// slices (inserts stay cheap) and freeze compacts the result, so the hot
+// query path walks flat memory instead of chasing n separately allocated
+// list headers.
 type Index struct {
 	g    *graph.Graph
 	k    int
@@ -110,8 +118,47 @@ type Index struct {
 	order []graph.Vertex // rank -> vertex id
 	rank  []int32        // vertex id -> rank
 
-	in  [][]entry // Lin(v), indexed by vertex id
-	out [][]entry // Lout(v)
+	entries []entry // all Lout lists, then all Lin lists
+	outOff  []int32 // len n+1; Lout(v) = entries[outOff[v]:outOff[v+1]]
+	inOff   []int32 // len n+1; Lin(v)  = entries[inOff[v]:inOff[v+1]]
+}
+
+// lout returns the Lout(v) slice of the frozen entries array.
+func (ix *Index) lout(v graph.Vertex) []entry {
+	return ix.entries[ix.outOff[v]:ix.outOff[v+1]]
+}
+
+// lin returns the Lin(v) slice of the frozen entries array.
+func (ix *Index) lin(v graph.Vertex) []entry {
+	return ix.entries[ix.inOff[v]:ix.inOff[v+1]]
+}
+
+// freeze compacts per-vertex entry lists into the flat CSR layout. The
+// per-list entry order is preserved, so anything pinned on it (hub-sorted
+// lists, the serialized v1 format) is unaffected.
+func (ix *Index) freeze(out, in [][]entry) error {
+	n := len(out)
+	total := int64(0)
+	for v := 0; v < n; v++ {
+		total += int64(len(out[v]) + len(in[v]))
+	}
+	if total > math.MaxInt32 {
+		return fmt.Errorf("rlc: index has %d entries, exceeding the 2^31-1 CSR offset limit", total)
+	}
+	ix.entries = make([]entry, 0, total)
+	ix.outOff = make([]int32, n+1)
+	ix.inOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		ix.outOff[v] = int32(len(ix.entries))
+		ix.entries = append(ix.entries, out[v]...)
+	}
+	ix.outOff[n] = int32(len(ix.entries))
+	for v := 0; v < n; v++ {
+		ix.inOff[v] = int32(len(ix.entries))
+		ix.entries = append(ix.entries, in[v]...)
+	}
+	ix.inOff[n] = int32(len(ix.entries))
+	return nil
 }
 
 // Graph returns the graph the index was built over.
@@ -127,11 +174,7 @@ func (ix *Index) AccessOrder() []graph.Vertex { return ix.order }
 // NumEntries returns the total number of index entries across all Lin and
 // Lout sets.
 func (ix *Index) NumEntries() int64 {
-	var total int64
-	for v := range ix.in {
-		total += int64(len(ix.in[v]) + len(ix.out[v]))
-	}
-	return total
+	return int64(len(ix.entries))
 }
 
 // SizeBytes estimates the resident size of the index: 8 bytes per entry
@@ -142,8 +185,8 @@ func (ix *Index) SizeBytes() int64 {
 	for i := 0; i < ix.dict.Len(); i++ {
 		size += int64(len(ix.dict.Seq(labelseq.ID(i))))*4 + 16
 	}
-	// Per-vertex slice headers.
-	size += int64(len(ix.in)+len(ix.out)) * 24
+	// CSR offset arrays (one per direction).
+	size += int64(len(ix.inOff)+len(ix.outOff)) * 4
 	return size
 }
 
@@ -161,11 +204,9 @@ type Stats struct {
 
 // Stats returns summary statistics.
 func (ix *Index) Stats() Stats {
-	var in, out int64
-	for v := range ix.in {
-		in += int64(len(ix.in[v]))
-		out += int64(len(ix.out[v]))
-	}
+	n := ix.g.NumVertices()
+	out := int64(ix.outOff[n] - ix.outOff[0])
+	in := int64(ix.inOff[n] - ix.inOff[0])
 	return Stats{
 		K:           ix.k,
 		Vertices:    ix.g.NumVertices(),
@@ -185,10 +226,10 @@ type EntryView struct {
 }
 
 // LinEntries returns the decoded Lin(v) set.
-func (ix *Index) LinEntries(v graph.Vertex) []EntryView { return ix.decode(ix.in[v]) }
+func (ix *Index) LinEntries(v graph.Vertex) []EntryView { return ix.decode(ix.lin(v)) }
 
 // LoutEntries returns the decoded Lout(v) set.
-func (ix *Index) LoutEntries(v graph.Vertex) []EntryView { return ix.decode(ix.out[v]) }
+func (ix *Index) LoutEntries(v graph.Vertex) []EntryView { return ix.decode(ix.lout(v)) }
 
 func (ix *Index) decode(list []entry) []EntryView {
 	out := make([]EntryView, len(list))
@@ -227,9 +268,23 @@ func (ix *Index) QueryStar(s, t graph.Vertex, l labelseq.Seq) (bool, error) {
 }
 
 func (ix *Index) checkQuery(s, t graph.Vertex, l labelseq.Seq) error {
+	if err := ix.checkVertices(s, t); err != nil {
+		return err
+	}
+	return ix.checkConstraint(l)
+}
+
+func (ix *Index) checkVertices(s, t graph.Vertex) error {
 	if s < 0 || int(s) >= ix.g.NumVertices() || t < 0 || int(t) >= ix.g.NumVertices() {
 		return fmt.Errorf("%w: s=%d t=%d n=%d", ErrVertexRange, s, t, ix.g.NumVertices())
 	}
+	return nil
+}
+
+// checkShape is the cheap prefix of checkConstraint: length bounds and
+// label range — everything Coder.Encode needs to be safe. The batch path
+// runs it per query and skips the primitivity check on memo hits.
+func (ix *Index) checkShape(l labelseq.Seq) error {
 	if len(l) == 0 {
 		return ErrEmptyConstraint
 	}
@@ -241,19 +296,29 @@ func (ix *Index) checkQuery(s, t graph.Vertex, l labelseq.Seq) error {
 			return fmt.Errorf("%w: label %d, |L|=%d", ErrUnknownLabel, lab, ix.g.NumLabels())
 		}
 	}
+	return nil
+}
+
+func (ix *Index) checkConstraint(l labelseq.Seq) error {
+	if err := ix.checkShape(l); err != nil {
+		return err
+	}
 	if !labelseq.IsPrimitive(l) {
 		return fmt.Errorf("%w: %v", ErrNotMinimumRepeat, l)
 	}
 	return nil
 }
 
-// queryByID is the hot path shared by the public Query and the PR1 check
-// during construction: Case 2 (direct entries) then Case 1 (merge join).
+// queryByID is the hot path of Query and QueryBatch on the frozen CSR
+// layout: Case 2 (direct entries) then Case 1 (merge join). During
+// construction the equivalent PR1 check runs against the builder's mutable
+// per-vertex lists instead (see builder.insert).
 func (ix *Index) queryByID(s, t graph.Vertex, mr labelseq.ID) bool {
-	if hasEntry(ix.out[s], ix.rank[t], mr) || hasEntry(ix.in[t], ix.rank[s], mr) {
+	outS, inT := ix.lout(s), ix.lin(t)
+	if hasEntry(outS, ix.rank[t], mr) || hasEntry(inT, ix.rank[s], mr) {
 		return true
 	}
-	return joinHas(ix.out[s], ix.in[t], mr)
+	return joinHas(outS, inT, mr)
 }
 
 // hasEntry reports whether list (sorted by hub) contains (hub, mr).

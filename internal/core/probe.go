@@ -35,7 +35,7 @@ func (ix *Index) NewTargetProbe(t graph.Vertex, l labelseq.Seq) (*TargetProbe, e
 	}
 	p.valid = true
 	p.hubs = make([]uint64, (ix.g.NumVertices()+63)/64)
-	for _, e := range ix.in[t] {
+	for _, e := range ix.lin(t) {
 		if e.mr == p.mr {
 			p.hubs[e.hub>>6] |= 1 << uint(e.hub&63)
 		}
@@ -53,7 +53,7 @@ func (p *TargetProbe) Reaches(s graph.Vertex) bool {
 	if p.hubs[rs>>6]&(1<<uint(rs&63)) != 0 {
 		return true
 	}
-	for _, e := range p.ix.out[s] {
+	for _, e := range p.ix.lout(s) {
 		if e.mr != p.mr {
 			continue
 		}
@@ -90,7 +90,7 @@ func (ix *Index) NewSourceProbe(s graph.Vertex, l labelseq.Seq) (*SourceProbe, e
 	}
 	p.valid = true
 	p.hubs = make([]uint64, (ix.g.NumVertices()+63)/64)
-	for _, e := range ix.out[s] {
+	for _, e := range ix.lout(s) {
 		if e.mr == p.mr {
 			p.hubs[e.hub>>6] |= 1 << uint(e.hub&63)
 		}
@@ -108,7 +108,7 @@ func (p *SourceProbe) Reaches(t graph.Vertex) bool {
 	if p.hubs[rt>>6]&(1<<uint(rt&63)) != 0 {
 		return true
 	}
-	for _, e := range p.ix.in[t] {
+	for _, e := range p.ix.lin(t) {
 		if e.mr != p.mr {
 			continue
 		}

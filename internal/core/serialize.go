@@ -58,7 +58,7 @@ func (ix *Index) Write(w io.Writer) error {
 		writeI32(int32(v))
 	}
 	for v := 0; v < ix.g.NumVertices(); v++ {
-		for _, list := range [2][]entry{ix.out[v], ix.in[v]} {
+		for _, list := range [2][]entry{ix.lout(graph.Vertex(v)), ix.lin(graph.Vertex(v))} {
 			writeU32(uint32(len(list)))
 			for _, e := range list {
 				writeI32(e.hub)
@@ -137,9 +137,11 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 		dict:  dict,
 		order: make([]graph.Vertex, n),
 		rank:  make([]int32, n),
-		in:    make([][]entry, n),
-		out:   make([][]entry, n),
 	}
+	// Decoded per-vertex lists, compacted into the CSR layout by freeze
+	// once the whole file validated.
+	in := make([][]entry, n)
+	out := make([][]entry, n)
 
 	dictLen := int(readU32())
 	for i := 0; i < dictLen; i++ {
@@ -206,11 +208,14 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 				list[i] = entry{hub: hub, mr: labelseq.ID(mr)}
 			}
 			if side == 0 {
-				ix.out[v] = list
+				out[v] = list
 			} else {
-				ix.in[v] = list
+				in[v] = list
 			}
 		}
+	}
+	if err := ix.freeze(out, in); err != nil {
+		return nil, fmt.Errorf("rlc: load: %w", err)
 	}
 	return ix, nil
 }

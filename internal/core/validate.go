@@ -32,7 +32,7 @@ func (ix *Index) ValidateSound() error {
 		return n, nil
 	}
 	for v := 0; v < ix.g.NumVertices(); v++ {
-		for _, e := range ix.out[v] {
+		for _, e := range ix.lout(graph.Vertex(v)) {
 			hub := ix.order[e.hub]
 			nfa, err := nfaOf(e.mr)
 			if err != nil {
@@ -42,7 +42,7 @@ func (ix *Index) ValidateSound() error {
 				return fmt.Errorf("rlc: unsound entry (%d, %v) in Lout(%d): no such path", hub, ix.dict.Seq(e.mr), v)
 			}
 		}
-		for _, e := range ix.in[v] {
+		for _, e := range ix.lin(graph.Vertex(v)) {
 			hub := ix.order[e.hub]
 			nfa, err := nfaOf(e.mr)
 			if err != nil {
@@ -92,7 +92,7 @@ func (ix *Index) ValidateComplete() error {
 func (ix *Index) ValidateCondensed() error {
 	for v := 0; v < ix.g.NumVertices(); v++ {
 		// Direct entries recorded as (t, L) ∈ Lout(s) with s = v.
-		for _, e := range ix.out[v] {
+		for _, e := range ix.lout(graph.Vertex(v)) {
 			s := graph.Vertex(v)
 			t := ix.order[e.hub]
 			if err := ix.checkNotCovered(s, t, e.mr, "Lout"); err != nil {
@@ -100,7 +100,7 @@ func (ix *Index) ValidateCondensed() error {
 			}
 		}
 		// Direct entries recorded as (s, L) ∈ Lin(t) with t = v.
-		for _, e := range ix.in[v] {
+		for _, e := range ix.lin(graph.Vertex(v)) {
 			s := ix.order[e.hub]
 			t := graph.Vertex(v)
 			if err := ix.checkNotCovered(s, t, e.mr, "Lin"); err != nil {
@@ -109,7 +109,7 @@ func (ix *Index) ValidateCondensed() error {
 			// Both direct forms for the same fact is double recording,
 			// except for the degenerate s == t cycles where the two
 			// lists describe the same vertex.
-			if s != t && hasEntry(ix.out[s], ix.rank[t], e.mr) {
+			if s != t && hasEntry(ix.lout(s), ix.rank[t], e.mr) {
 				return fmt.Errorf("rlc: not condensed: (%d,%v) recorded in both Lout(%d) and Lin(%d)",
 					t, ix.dict.Seq(e.mr), s, t)
 			}
@@ -119,7 +119,7 @@ func (ix *Index) ValidateCondensed() error {
 }
 
 func (ix *Index) checkNotCovered(s, t graph.Vertex, mr labelseq.ID, kind string) error {
-	a, b := ix.out[s], ix.in[t]
+	a, b := ix.lout(s), ix.lin(t)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

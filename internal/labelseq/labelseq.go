@@ -127,7 +127,16 @@ func SmallestPeriod(s Seq) int {
 	if len(s) == 0 {
 		return 0
 	}
-	fail := failure(s, make([]int, len(s)+1))
+	// Query constraints are short (k <= 8), so a stack buffer keeps the
+	// per-query validation path allocation-free; longer sequences (only
+	// reachable through direct labelseq use) fall back to the heap.
+	var buf [16]int
+	var fail []int
+	if len(s)+1 <= len(buf) {
+		fail = failure(s, buf[:len(s)+1])
+	} else {
+		fail = failure(s, make([]int, len(s)+1))
+	}
 	return len(s) - fail[len(s)]
 }
 

@@ -16,6 +16,30 @@
 //	if err != nil { ... }
 //	ok, err := ix.Query(0, 2, rlc.Seq{0, 1}) // is there an (l0 l1)+ path 0 -> 2?
 //
+// The module is self-contained (no external dependencies): from a clean
+// checkout, `go build ./...` and `go test ./...` are all that is needed.
+//
+// # Batch queries
+//
+// The built index is immutable — internally one flat CSR entry array — so
+// reads parallelize freely. For query traffic that arrives in batches,
+// QueryBatch fans a query slice out over a worker pool and returns one
+// result per query, position for position; each worker reuses its own
+// scratch, so the steady state allocates nothing per query:
+//
+//	queries := []rlc.BatchQuery{
+//		{S: 0, T: 2, L: rlc.Seq{0, 1}},
+//		{S: 1, T: 2, L: rlc.Seq{1}},
+//	}
+//	for i, res := range ix.QueryBatch(queries, 0) { // 0 workers = GOMAXPROCS
+//		if res.Err != nil { ... }      // per-query validation errors
+//		use(queries[i], res.Reachable) // answers stay in request order
+//	}
+//
+// Plain Query and QueryBatch may run concurrently against the same index.
+// QueryBatchInto is the same fan-out writing into a caller-reused result
+// buffer, for serving loops that want zero allocations per batch.
+//
 // The package also ships the paper's baselines (NFA-guided BFS and BiBFS,
 // the extended transitive closure), three mainstream-engine comparators,
 // synthetic graph generators (Erdős–Rényi, Barabási–Albert, Zipfian
@@ -68,6 +92,11 @@ type (
 	IndexStats = core.Stats
 	// EntryView is a decoded index entry.
 	EntryView = core.EntryView
+	// BatchQuery is one (S, T, L+) query of an Index.QueryBatch call.
+	BatchQuery = core.BatchQuery
+	// BatchResult is the positional answer to a BatchQuery: Reachable is
+	// meaningful only when Err is nil.
+	BatchResult = core.BatchResult
 )
 
 // Expression types for extended queries (Section VI-C).
@@ -153,6 +182,13 @@ func LoadIndex(r io.Reader, g *Graph) (*Index, error) { return core.Load(r, g) }
 
 // LoadIndexFile reads an index file and binds it to g.
 func LoadIndexFile(path string, g *Graph) (*Index, error) { return core.LoadFile(path, g) }
+
+// EffectiveBatchWorkers reports how many workers Index.QueryBatch actually
+// runs for a batch of numQueries when workers are requested (<= 0 meaning
+// GOMAXPROCS) — small batches clamp to the available work.
+func EffectiveBatchWorkers(numQueries, workers int) int {
+	return core.EffectiveBatchWorkers(numQueries, workers)
+}
 
 // MinimumRepeat returns MR(s): the unique shortest sequence whose repetition
 // is s (Lemma 1).

@@ -31,6 +31,42 @@ func TestQuickstart(t *testing.T) {
 	}
 }
 
+// TestFacadeQueryBatch exercises the batch-query path documented in the
+// package's "Batch queries" section through the public facade.
+func TestFacadeQueryBatch(t *testing.T) {
+	g := rlc.ExampleFig2()
+	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []rlc.BatchQuery
+	var want []bool
+	for s := rlc.Vertex(0); int(s) < g.NumVertices(); s++ {
+		for tt := rlc.Vertex(0); int(tt) < g.NumVertices(); tt++ {
+			for _, l := range []rlc.Seq{{0}, {1}, {2}, {1, 0}} {
+				queries = append(queries, rlc.BatchQuery{S: s, T: tt, L: l})
+				ok, err := ix.Query(s, tt, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, ok)
+			}
+		}
+	}
+	results := ix.QueryBatch(queries, 0)
+	var buf []rlc.BatchResult
+	buf = ix.QueryBatchInto(queries, 2, buf)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", i, res.Err)
+		}
+		if res.Reachable != want[i] || buf[i].Reachable != want[i] {
+			t.Fatalf("query %d (%d,%d,%v): batch=%v into=%v want=%v",
+				i, queries[i].S, queries[i].T, queries[i].L, res.Reachable, buf[i].Reachable, want[i])
+		}
+	}
+}
+
 func TestFacadeFig1Queries(t *testing.T) {
 	g := rlc.ExampleFig1()
 	ix, err := rlc.BuildIndex(g, rlc.Options{K: 3})
