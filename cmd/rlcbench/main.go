@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,6 +35,7 @@ func main() {
 		synthV   = flag.Int("synth-vertices", 0, "fig5 synthetic |V| (0 = default)")
 		out      = flag.String("out", "", "directory for markdown output (empty = stdout only)")
 		etcLimit = flag.Duration("etc-limit", 0, "ETC construction budget (0 = default)")
+		bworkers = flag.String("buildworkers", "", "comma-separated worker ladder for the pbuild experiment (empty = 1,2,4)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -48,6 +50,15 @@ func main() {
 	}
 	if *dsets != "" {
 		cfg.Datasets = strings.Split(*dsets, ",")
+	}
+	if *bworkers != "" {
+		for _, tok := range strings.Split(*bworkers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || w < 0 {
+				fatalf("bad -buildworkers entry %q (want non-negative integers)", tok)
+			}
+			cfg.BuildWorkers = append(cfg.BuildWorkers, w)
+		}
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

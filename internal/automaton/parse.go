@@ -2,6 +2,7 @@ package automaton
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -90,11 +91,12 @@ func parseLabels(toks []string, resolve func(string) (labelseq.Label, bool)) (la
 }
 
 // NumericLabels resolves tokens of the form "l3" or "3" to label 3. Use it
-// when the graph has no label names.
+// when the graph has no label names. Tokens outside the dense int32 label
+// id space are rejected rather than silently truncated.
 func NumericLabels(tok string) (labelseq.Label, bool) {
 	t := strings.TrimPrefix(tok, "l")
 	n, err := strconv.Atoi(t)
-	if err != nil || n < 0 {
+	if err != nil || n < 0 || int64(n) > math.MaxInt32 {
 		return labelseq.NoLabel, false
 	}
 	return labelseq.Label(n), true

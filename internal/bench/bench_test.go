@@ -30,8 +30,8 @@ func microConfig() Config {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(exps))
+	if len(exps) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(exps))
 	}
 	for _, e := range exps {
 		got, err := ByID(e.ID)
@@ -160,5 +160,17 @@ func TestRunBatchMicro(t *testing.T) {
 	checkTables(t, tables, err, 2) // AD and TW rows
 	if len(tables) != 1 {
 		t.Fatalf("batch should produce one table, got %d", len(tables))
+	}
+}
+
+func TestRunPBuildMicro(t *testing.T) {
+	cfg := microConfig()
+	cfg.BuildWorkers = []int{1, 2}
+	tables, err := RunPBuild(cfg)
+	checkTables(t, tables, err, 4) // 2 graphs x 2 worker counts
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("pbuild row %v reports a non-identical parallel build", row)
+		}
 	}
 }

@@ -76,6 +76,15 @@ type Options struct {
 	// IN-OUT strategy.
 	Order Order
 
+	// BuildWorkers is the number of concurrent construction workers: 0
+	// means GOMAXPROCS, 1 forces the plain sequential path, and negative
+	// values are rejected by Build. The worker count never changes the
+	// result — the parallel scheduler (scheduler.go) is deterministic and
+	// produces entry lists, dictionary, and serialized bytes identical to
+	// the sequential build's — it only changes how fast the index is
+	// built.
+	BuildWorkers int
+
 	// DisablePR1/2/3 switch off the corresponding pruning rule. The index
 	// remains sound and complete with any combination disabled (it only
 	// grows and takes longer to build); the flags exist for the ablation

@@ -16,10 +16,13 @@
 //     suffix, and true answers return as soon as the prefix is found.
 //
 // Amortization: when the journal grows past RebuildThreshold edges, the
-// next query folds the journal into the base and rebuilds the index.
-// Deletions are not supported (they can invalidate arbitrary entries);
-// delete-heavy workloads should rebuild, exactly as the paper's static
-// setting implies.
+// next query folds the journal into the base and rebuilds the index. The
+// rebuild honors Options.IndexOptions.BuildWorkers, so fold-and-rebuild
+// runs on the parallel construction path by default (BuildWorkers zero
+// means GOMAXPROCS) — and, because the parallel build is deterministic,
+// the rebuilt index is identical to a sequential rebuild's. Deletions are
+// not supported (they can invalidate arbitrary entries); delete-heavy
+// workloads should rebuild, exactly as the paper's static setting implies.
 package dynamic
 
 import (

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -53,6 +54,9 @@ func Read(r io.Reader) (*Graph, error) {
 			lbl, _ := strconv.Atoi(e.lbl)
 			if src < 0 || dst < 0 || lbl < 0 {
 				return nil, fmt.Errorf("graph: negative id in edge %s %s %s", e.src, e.dst, e.lbl)
+			}
+			if int64(src) > math.MaxInt32 || int64(dst) > math.MaxInt32 || int64(lbl) > math.MaxInt32 {
+				return nil, fmt.Errorf("graph: id beyond the dense int32 space in edge %s %s %s", e.src, e.dst, e.lbl)
 			}
 			b.AddEdge(Vertex(src), Label(lbl), Vertex(dst))
 		}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -58,10 +59,13 @@ func Read(r io.Reader) (Workload, error) {
 		if src < 0 || dst < 0 {
 			return Workload{}, fmt.Errorf("workload: line %d: negative vertex", lineNo)
 		}
+		if int64(src) > math.MaxInt32 || int64(dst) > math.MaxInt32 {
+			return Workload{}, fmt.Errorf("workload: line %d: vertex beyond the dense int32 space", lineNo)
+		}
 		var l labelseq.Seq
 		for _, tok := range strings.Split(fields[2], ",") {
 			li, err := strconv.Atoi(tok)
-			if err != nil || li < 0 {
+			if err != nil || li < 0 || int64(li) > math.MaxInt32 {
 				return Workload{}, fmt.Errorf("workload: line %d: bad label %q", lineNo, tok)
 			}
 			l = append(l, labelseq.Label(li))

@@ -40,6 +40,21 @@
 // QueryBatchInto is the same fan-out writing into a caller-reused result
 // buffer, for serving loops that want zero allocations per batch.
 //
+// # Parallel construction
+//
+// BuildIndex itself is parallel: Options.BuildWorkers sets the number of
+// construction workers (0 = GOMAXPROCS, 1 = the plain sequential path of
+// Algorithm 2). The build is deterministic for every worker count — the
+// scheduler speculates ahead of a sequentially advancing commit frontier
+// and only commits speculations proven to match the sequential trajectory
+// — so the resulting index, including its serialized bytes, is identical
+// whether it was built on one core or all of them:
+//
+//	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2, BuildWorkers: 8})
+//
+// Rebuilds of a DeltaGraph inherit the same option through
+// DeltaOptions.IndexOptions.
+//
 // The package also ships the paper's baselines (NFA-guided BFS and BiBFS,
 // the extended transitive closure), three mainstream-engine comparators,
 // synthetic graph generators (Erdős–Rényi, Barabási–Albert, Zipfian
@@ -188,6 +203,14 @@ func LoadIndexFile(path string, g *Graph) (*Index, error) { return core.LoadFile
 // GOMAXPROCS) — small batches clamp to the available work.
 func EffectiveBatchWorkers(numQueries, workers int) int {
 	return core.EffectiveBatchWorkers(numQueries, workers)
+}
+
+// EffectiveBuildWorkers reports how many construction workers BuildIndex
+// actually runs for a graph of numVertices when Options.BuildWorkers
+// requests workers (<= 0 meaning GOMAXPROCS) — tiny graphs clamp to the
+// vertex count, and one worker selects the sequential path.
+func EffectiveBuildWorkers(numVertices, workers int) int {
+	return core.EffectiveBuildWorkers(numVertices, workers)
 }
 
 // MinimumRepeat returns MR(s): the unique shortest sequence whose repetition
