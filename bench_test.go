@@ -330,7 +330,7 @@ func BenchmarkTable5Engines(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §7) -------------------------------------------
+// --- Ablations ----------------------------------------------------------
 
 // BenchmarkAblationPruning measures how each pruning rule contributes to
 // build time and index size — the design choices Section V-B motivates and

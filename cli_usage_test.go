@@ -1,0 +1,187 @@
+package rlc_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// cliTools lists every command with the one-line synopsis its -h output (and
+// the README table) must lead with.
+var cliTools = map[string]string{
+	"rlcbuild":   "rlcbuild — build and serialize an RLC index for a graph file",
+	"rlcquery":   "rlcquery — evaluate RLC (and extended) queries against a graph",
+	"rlcserve":   "rlcserve — serve RLC reachability queries over HTTP with a result cache",
+	"rlcgen":     "rlcgen — generate synthetic graphs and query workloads",
+	"rlcinspect": "rlcinspect — print RLC index internals: stats, distributions, entry sets",
+	"rlcbench":   "rlcbench — reproduce the paper's experimental tables and figures",
+}
+
+func buildTool(t *testing.T, dir, tool string) string {
+	t.Helper()
+	bin := filepath.Join(dir, tool)
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", tool, err, out)
+	}
+	return bin
+}
+
+// TestCLIUsageConformance holds every tool to the normalized usage contract:
+// -h prints the synopsis, a usage line, and the flag list and exits zero;
+// an unknown flag or an unexpected positional argument prints usage and
+// exits non-zero.
+func TestCLIUsageConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI usage test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	for tool, synopsis := range cliTools {
+		bin := buildTool(t, dir, tool)
+
+		out, err := exec.Command(bin, "-h").CombinedOutput()
+		if err != nil {
+			t.Errorf("%s -h exited non-zero: %v\n%s", tool, err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, synopsis) {
+			t.Errorf("%s -h lacks its synopsis %q:\n%s", tool, synopsis, text)
+		}
+		if !strings.Contains(text, "usage: "+tool) {
+			t.Errorf("%s -h lacks a usage line:\n%s", tool, text)
+		}
+		if !strings.Contains(text, "flags:") {
+			t.Errorf("%s -h lacks the flag list:\n%s", tool, text)
+		}
+
+		out, err = exec.Command(bin, "-no-such-flag").CombinedOutput()
+		if err == nil {
+			t.Errorf("%s accepted an unknown flag; output:\n%s", tool, out)
+		}
+		if !strings.Contains(string(out), "usage: "+tool) {
+			t.Errorf("%s unknown-flag output lacks usage:\n%s", tool, out)
+		}
+
+		out, err = exec.Command(bin, "stray-argument").CombinedOutput()
+		if err == nil {
+			t.Errorf("%s accepted a stray positional argument; output:\n%s", tool, out)
+		}
+		if !strings.Contains(string(out), "usage: "+tool) {
+			t.Errorf("%s stray-argument output lacks usage:\n%s", tool, out)
+		}
+	}
+}
+
+// TestCLIServe drives the rlcserve binary end to end: generate the Fig. 2
+// graph with rlcgen, start the server on an ephemeral port, query it over
+// HTTP, and shut it down with SIGTERM expecting a graceful drain.
+func TestCLIServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI serve test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	rlcgen := buildTool(t, dir, "rlcgen")
+	rlcserve := buildTool(t, dir, "rlcserve")
+
+	graphFile := filepath.Join(dir, "fig2.graph")
+	if out, err := exec.Command(rlcgen, "-model", "fig2", "-out", graphFile).CombinedOutput(); err != nil {
+		t.Fatalf("rlcgen fig2: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(rlcserve, "-graph", graphFile, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start rlcserve: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The serve line reports the actual ephemeral address.
+	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	addrCh := make(chan string, 1)
+	outCh := make(chan string, 1)
+	go func() {
+		var all strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := stdout.Read(buf)
+			all.Write(buf[:n])
+			if m := addrRe.FindStringSubmatch(all.String()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			if err != nil {
+				outCh <- all.String()
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("rlcserve did not report its listen address")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// (v1, v5, (l1 l2)+) is true on Fig. 2; the graph file preserves names.
+	resp, err = http.Get(base + "/query?s=v1&t=v5&l=l1%20l2")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var qr struct {
+		Reachable bool `json:"reachable"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if !qr.Reachable {
+		t.Fatal("(v1, v5, (l1 l2)+) should be reachable over HTTP")
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	// Drain stdout to EOF before Wait — Wait closes the pipe and would
+	// truncate the reader mid-stream.
+	var out string
+	select {
+	case out = <-outCh:
+	case <-time.After(20 * time.Second):
+		t.Fatal("rlcserve did not close stdout after SIGTERM")
+	}
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- cmd.Wait() }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatalf("rlcserve exited non-zero after SIGTERM: %v\n%s", err, out)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("rlcserve did not exit after SIGTERM")
+	}
+	if !strings.Contains(out, "shut down cleanly") {
+		t.Errorf("missing graceful-shutdown report in output:\n%s", out)
+	}
+}

@@ -24,9 +24,11 @@ import (
 	"github.com/g-rpqs/rlc-go/internal/bench"
 )
 
+const synopsis = "rlcbench — reproduce the paper's experimental tables and figures"
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table3, table4, fig3..fig7, table5) or \"all\"")
+		exp      = flag.String("exp", "all", "experiment id (table3..5, fig3..7, ablation, batch, pbuild, serve) or \"all\"")
 		scale    = flag.Float64("scale", 0, "dataset replica scale (0 = default)")
 		maxV     = flag.Int("max-vertices", 0, "replica vertex cap (0 = default)")
 		queries  = flag.Int("queries", 0, "queries per true/false set (0 = default)")
@@ -38,7 +40,13 @@ func main() {
 		bworkers = flag.String("buildworkers", "", "comma-separated worker ladder for the pbuild experiment (empty = 1,2,4)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rlcbench: unexpected argument %q\n\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{
 		Scale:         *scale,
@@ -104,6 +112,11 @@ func main() {
 			}
 		}
 	}
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcbench [flags]\n\nflags:\n", synopsis)
+	flag.PrintDefaults()
 }
 
 func fatalf(format string, args ...any) {

@@ -19,6 +19,8 @@ import (
 	rlc "github.com/g-rpqs/rlc-go"
 )
 
+const synopsis = "rlcbuild — build and serialize an RLC index for a graph file"
+
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "input graph file (required)")
@@ -29,7 +31,13 @@ func main() {
 		noPR2     = flag.Bool("no-pr2", false, "disable pruning rule PR2 (ablation)")
 		noPR3     = flag.Bool("no-pr3", false, "disable pruning rule PR3 (ablation)")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rlcbuild: unexpected argument %q\n\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
 	if *graphPath == "" || *out == "" {
 		fatalf("missing -graph or -out")
 	}
@@ -71,6 +79,11 @@ func main() {
 		fatalf("save index: %v", err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcbuild -graph FILE -out FILE [flags]\n\nflags:\n", synopsis)
+	flag.PrintDefaults()
 }
 
 func fatalf(format string, args ...any) {

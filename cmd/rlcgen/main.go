@@ -1,9 +1,10 @@
 // Command rlcgen generates the synthetic graphs and query workloads used by
-// the paper's evaluation.
+// the paper's evaluation, plus the paper's two figure graphs.
 //
 //	rlcgen -model er -n 10000 -d 5 -labels 16 -seed 1 -out er.graph
 //	rlcgen -model ba -n 10000 -d 5 -labels 16 -out ba.graph
 //	rlcgen -model dataset -dataset WN -scale 0.01 -out wn.graph
+//	rlcgen -model fig2 -out fig2.graph
 //	rlcgen -model er -n 1000 -d 4 -labels 8 -out g.graph \
 //	       -workload g.queries -queries 1000 -len 2
 //
@@ -21,9 +22,11 @@ import (
 	"github.com/g-rpqs/rlc-go/internal/workload"
 )
 
+const synopsis = "rlcgen — generate synthetic graphs and query workloads"
+
 func main() {
 	var (
-		model     = flag.String("model", "er", "graph model: er, ba, or dataset")
+		model     = flag.String("model", "er", "graph model: er, ba, dataset, fig1, or fig2")
 		n         = flag.Int("n", 10000, "number of vertices (er, ba)")
 		d         = flag.Int("d", 5, "average degree (er) / out-edges per vertex (ba)")
 		labels    = flag.Int("labels", 8, "label-set size (er, ba)")
@@ -35,7 +38,13 @@ func main() {
 		queries   = flag.Int("queries", 1000, "queries per true/false set")
 		concatLen = flag.Int("len", 2, "constraint concatenation length")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rlcgen: unexpected argument %q\n\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
 	if *out == "" {
 		fatalf("missing -out")
 	}
@@ -78,9 +87,18 @@ func generate(model string, n, d, labels int, seed int64, dataset string, scale 
 			return nil, err
 		}
 		return ds.Replica(scale)
+	case "fig1":
+		return rlc.ExampleFig1(), nil
+	case "fig2":
+		return rlc.ExampleFig2(), nil
 	default:
-		return nil, fmt.Errorf("unknown model %q (want er, ba, dataset)", model)
+		return nil, fmt.Errorf("unknown model %q (want er, ba, dataset, fig1, fig2)", model)
 	}
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcgen -out FILE [flags]\n\nflags:\n", synopsis)
+	flag.PrintDefaults()
 }
 
 func fatalf(format string, args ...any) {

@@ -18,6 +18,8 @@ import (
 	"github.com/g-rpqs/rlc-go/internal/core"
 )
 
+const synopsis = "rlcinspect — print RLC index internals: stats, distributions, entry sets"
+
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "input graph file (required)")
@@ -26,7 +28,13 @@ func main() {
 		vertices  = flag.String("vertices", "", "comma-separated vertex ids whose Lin/Lout to print")
 		order     = flag.Bool("order", false, "print the full access order")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rlcinspect: unexpected argument %q\n\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
 	if *graphPath == "" {
 		fatalf("missing -graph")
 	}
@@ -91,6 +99,11 @@ func printEntries(g *rlc.Graph, entries []rlc.EntryView) {
 		parts[i] = fmt.Sprintf("(%s, %s)", g.VertexName(e.Hub), e.MR.Format(g.LabelNames()))
 	}
 	fmt.Println(strings.Join(parts, " "))
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcinspect -graph FILE [flags]\n\nflags:\n", synopsis)
+	flag.PrintDefaults()
 }
 
 func fatalf(format string, args ...any) {

@@ -25,6 +25,8 @@ import (
 	"github.com/g-rpqs/rlc-go/internal/workload"
 )
 
+const synopsis = "rlcquery — evaluate RLC (and extended) queries against a graph"
+
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "input graph file (required)")
@@ -38,7 +40,13 @@ func main() {
 		batch     = flag.Bool("batch", false, "answer the -queries workload via the concurrent QueryBatch API (method index only)")
 		workers   = flag.Int("workers", 0, "worker goroutines for -batch (0 = GOMAXPROCS)")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rlcquery: unexpected argument %q\n\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
 	if *graphPath == "" {
 		fatalf("missing -graph")
 	}
@@ -193,6 +201,11 @@ func runBatchWorkload(ix *rlc.Index, path string, workers int) error {
 		return fmt.Errorf("%d queries disagree with ground truth", len(qs)-correct)
 	}
 	return nil
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcquery -graph FILE (-s N -t N -expr EXPR | -queries FILE) [flags]\n\nflags:\n", synopsis)
+	flag.PrintDefaults()
 }
 
 func fatalf(format string, args ...any) {

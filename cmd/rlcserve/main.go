@@ -1,0 +1,148 @@
+// Command rlcserve is a long-running HTTP/JSON query service over an RLC
+// index: load a graph (and an index, or build one on the fly), then answer
+// single and batch reachability queries with a sharded LRU result cache in
+// front of the index.
+//
+//	rlcserve -graph g.graph -index g.rlc -addr :8080
+//	rlcserve -graph g.graph -k 2 -buildworkers 0 -addr :8080
+//	curl 'localhost:8080/query?s=0&t=4&l=(l0 l1)+'
+//	curl -X POST localhost:8080/batch -d '{"queries":[{"s":0,"t":4,"l":"l0 l1"}]}'
+//	curl localhost:8080/stats
+//
+// Endpoints: GET /query (single query, any expression the CLIs accept,
+// including multi-segment ones like "a+ b+"), POST /batch (many L+ queries
+// fanned over the concurrent batch worker pool), GET /stats (cache hit/miss/
+// eviction counters, per-endpoint latency histograms, index and build
+// statistics), GET /healthz. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rlc "github.com/g-rpqs/rlc-go"
+)
+
+const synopsis = "rlcserve — serve RLC reachability queries over HTTP with a result cache"
+
+func main() {
+	var (
+		graphPath    = flag.String("graph", "", "input graph file (required)")
+		indexPath    = flag.String("index", "", "index file (built on the fly when omitted)")
+		k            = flag.Int("k", 2, "recursive k when building on the fly")
+		buildWorkers = flag.Int("buildworkers", 0, "construction workers when building on the fly (0 = GOMAXPROCS)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		cacheSize    = flag.Int("cache", rlc.DefaultCacheEntries, "result-cache capacity in entries (0 = disable)")
+		cacheShards  = flag.Int("cache-shards", 0, "cache shard count, rounded up to a power of two (0 = 2*GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "batch-query worker goroutines (0 = GOMAXPROCS)")
+		maxBatch     = flag.Int("max-batch", 0, "largest accepted POST /batch request (0 = default)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rlcserve: unexpected argument %q\n\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
+	if *graphPath == "" {
+		fatalf("missing -graph")
+	}
+	if *buildWorkers < 0 {
+		fatalf("-buildworkers must be >= 0 (0 = GOMAXPROCS), got %d", *buildWorkers)
+	}
+
+	g, err := rlc.LoadGraphFile(*graphPath)
+	if err != nil {
+		fatalf("load graph: %v", err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, %d labels\n", g.NumVertices(), g.NumEdges(), g.NumLabels())
+
+	var (
+		ix  *rlc.Index
+		bst *rlc.BuildStats
+	)
+	if *indexPath != "" {
+		start := time.Now()
+		ix, err = rlc.LoadIndexFile(*indexPath, g)
+		if err != nil {
+			fatalf("load index: %v", err)
+		}
+		fmt.Printf("index loaded from %s in %v\n", *indexPath, time.Since(start).Round(time.Millisecond))
+	} else {
+		start := time.Now()
+		var st rlc.BuildStats
+		ix, st, err = rlc.BuildIndexWithStats(g, rlc.Options{K: *k, BuildWorkers: *buildWorkers})
+		if err != nil {
+			fatalf("build index: %v", err)
+		}
+		bst = &st
+		fmt.Printf("index built in %v (%d build workers)\n", time.Since(start).Round(time.Millisecond), st.Workers)
+	}
+	st := ix.Stats()
+	fmt.Printf("index: k=%d, %d entries (%.2f MB), %d distinct MRs\n",
+		st.K, st.Entries, float64(st.SizeBytes)/(1024*1024), st.DistinctMRs)
+
+	// The cache flag speaks "0 = off"; the library speaks "negative = off"
+	// so that its zero value serves with a default-sized cache.
+	cacheEntries := *cacheSize
+	if cacheEntries == 0 {
+		cacheEntries = -1
+	}
+	srv := rlc.NewServer(ix, rlc.ServerOptions{
+		CacheEntries: cacheEntries,
+		CacheShards:  *cacheShards,
+		BatchWorkers: *workers,
+		MaxBatch:     *maxBatch,
+		BuildStats:   bst,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Printf("serving on %s (cache: %d entries; /query /batch /stats /healthz)\n", ln.Addr(), max(cacheEntries, 0))
+
+	select {
+	case err := <-done:
+		fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("signal received; draining in-flight requests...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("serve: %v", err)
+	}
+	cs := srv.CacheStats()
+	fmt.Printf("shut down cleanly; cache: %d hits, %d misses, %d coalesced, %d evictions (%.1f%% hit rate)\n",
+		cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions, cs.HitRate()*100)
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcserve -graph FILE [flags]\n\nflags:\n", synopsis)
+	flag.PrintDefaults()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rlcserve: "+format+"\n", args...)
+	os.Exit(1)
+}

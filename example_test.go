@@ -65,8 +65,34 @@ func ExampleParseExpr() {
 	// Output: 1 true
 }
 
+// Answering many queries concurrently through the batch worker pool.
+// Results come back in request order, one per query; per-query validation
+// errors never fail the whole batch.
+func ExampleIndex_QueryBatch() {
+	g := rlc.ExampleFig2()
+	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	queries := []rlc.BatchQuery{
+		{S: 0, T: 4, L: rlc.Seq{0, 1}}, // (v1, v5, (l1 l2)+)
+		{S: 2, T: 5, L: rlc.Seq{0}},    // (v3, v6, (l1)+)
+		{S: 1, T: 0, L: rlc.Seq{1}},    // (v2, v1, (l2)+)
+	}
+	for i, res := range ix.QueryBatch(queries, 2 /* workers; 0 = GOMAXPROCS */) {
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		fmt.Printf("query %d: %v\n", i, res.Reachable)
+	}
+	// Output:
+	// query 0: true
+	// query 1: true
+	// query 2: false
+}
+
 // Extended queries (the Q4 shape) evaluate through the hybrid.
-func ExampleHybridEvaluator() {
+func ExampleNewHybridEvaluator() {
 	g := rlc.ExampleFig1()
 	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
 	if err != nil {

@@ -1,14 +1,22 @@
 // Social network at scale: generate a Barabási–Albert graph (the model the
-// paper uses for skewed real-world-like networks), build the RLC index, and
-// race it against the online-traversal baselines on a 2-label workload —
-// a miniature of the paper's Figure 3 experiment.
+// paper uses for skewed real-world-like networks), build the RLC index, race
+// it against the online-traversal baselines on a 2-label workload — a
+// miniature of the paper's Figure 3 experiment — and then serve the same
+// index over HTTP the way rlcserve does, answering single and batch queries
+// through the result cache.
 //
 //	go run ./examples/socialnetwork
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
 	"time"
 
 	rlc "github.com/g-rpqs/rlc-go"
@@ -67,4 +75,111 @@ func main() {
 	race("BFS", func(q rlc.Query) (bool, error) { return rlc.EvalBFS(g, q.S, q.T, q.L) })
 
 	fmt.Println("\nall three evaluators agreed on every query (verified against ground truth).")
+
+	serveOverHTTP(ix, w)
+}
+
+// serveOverHTTP stands the index up behind the rlc serving layer on a local
+// port and exercises it like an external client: one GET /query per workload
+// query (twice, so the second pass hits the result cache), one POST /batch
+// for the whole workload, then a graceful shutdown.
+func serveOverHTTP(ix *rlc.Index, w rlc.Workload) {
+	srv := rlc.NewServer(ix, rlc.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("\nserving the index over HTTP at %s\n", base)
+
+	queries := w.All()
+	for pass, name := range []string{"cold", "cached"} {
+		start := time.Now()
+		for _, q := range queries {
+			var resp struct {
+				Reachable bool `json:"reachable"`
+			}
+			u := fmt.Sprintf("%s/query?s=%d&t=%d&l=%s", base, q.S, q.T, url.QueryEscape(exprText(q.L)))
+			if err := getJSON(u, &resp); err != nil {
+				log.Fatal(err)
+			}
+			if resp.Reachable != q.Expected {
+				log.Fatalf("HTTP answered %v for %v, ground truth %v", resp.Reachable, q, q.Expected)
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("GET /query  %s pass (%d): %8v total  %6.1f µs/query\n",
+			name, pass+1, elapsed.Round(time.Microsecond), float64(elapsed.Microseconds())/float64(len(queries)))
+	}
+
+	// The same workload as one batch request, fanned over the server's
+	// concurrent worker pool.
+	var body strings.Builder
+	body.WriteString(`{"queries":[`)
+	for i, q := range queries {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, `{"s":%d,"t":%d,"l":"%s"}`, q.S, q.T, exprText(q.L))
+	}
+	body.WriteString(`]}`)
+	var batch struct {
+		Results []struct {
+			Reachable bool   `json:"reachable"`
+			Error     string `json:"error"`
+		} `json:"results"`
+		Cached int     `json:"cached"`
+		Micros float64 `json:"micros"`
+	}
+	resp, err := http.Post(base+"/batch", "application/json", strings.NewReader(body.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for i, r := range batch.Results {
+		if r.Error != "" || r.Reachable != queries[i].Expected {
+			log.Fatalf("batch result %d: got (%v, %q), ground truth %v", i, r.Reachable, r.Error, queries[i].Expected)
+		}
+	}
+	fmt.Printf("POST /batch %d queries in %.0f µs (%d answered from cache)\n",
+		len(batch.Results), batch.Micros, batch.Cached)
+
+	cs := srv.CacheStats()
+	fmt.Printf("cache: %d hits, %d misses, %.1f%% hit rate\n", cs.Hits, cs.Misses, cs.HitRate()*100)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and shut down cleanly.")
+}
+
+// exprText renders a constraint in the expression syntax the server parses.
+func exprText(l rlc.Seq) string {
+	toks := make([]string, len(l))
+	for i, lb := range l {
+		toks[i] = fmt.Sprintf("l%d", lb)
+	}
+	return "(" + strings.Join(toks, " ") + ")+"
+}
+
+func getJSON(u string, into any) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", u, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
 }

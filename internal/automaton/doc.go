@@ -1,0 +1,10 @@
+// Package automaton builds the nondeterministic finite automata that guide
+// the online-traversal baselines of the paper (Section III-B): an RLC
+// constraint L+ = (l1 ... lk)+ compiles to a compact cyclic automaton, and
+// extended constraints such as a+ ∘ b+ (query Q4 of Section VI-C) compile to
+// a chain of such cycles.
+//
+// The state space is deliberately tiny (one state per label occurrence plus
+// one accept state), which is the minimal NFA for these expression shapes,
+// so no separate minimization pass is required.
+package automaton

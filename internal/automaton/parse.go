@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/g-rpqs/rlc-go/internal/graph"
 	"github.com/g-rpqs/rlc-go/internal/labelseq"
 )
 
@@ -88,6 +89,24 @@ func parseLabels(toks []string, resolve func(string) (labelseq.Label, bool)) (la
 		out = append(out, l)
 	}
 	return out, nil
+}
+
+// ParseForGraph parses an expression resolving label tokens against g's
+// label names first and the "l0"/"0" numeric forms second (bounded by g's
+// label count). Every surface that parses user expressions — the rlc
+// facade, the CLIs, the HTTP server — goes through this one resolver, so
+// the accepted token forms cannot drift between them.
+func ParseForGraph(s string, g *graph.Graph) (Expr, error) {
+	return Parse(s, func(tok string) (labelseq.Label, bool) {
+		if l, ok := g.LabelByName(tok); ok {
+			return l, true
+		}
+		l, ok := NumericLabels(tok)
+		if !ok || int(l) >= g.NumLabels() {
+			return l, false
+		}
+		return l, ok
+	})
 }
 
 // NumericLabels resolves tokens of the form "l3" or "3" to label 3. Use it

@@ -1,9 +1,3 @@
-// Package bench reproduces the paper's experimental section: one experiment
-// per table and figure (Table III, Table IV, Figures 3-7, Table V), each
-// printing the same rows/series the paper reports. Experiments accept a
-// Config that scales the workloads to the available hardware; the default
-// configuration finishes on a laptop while preserving the shapes the paper
-// demonstrates (who wins, by what factor, and where the trends bend).
 package bench
 
 import (
@@ -217,6 +211,7 @@ func Experiments() []Experiment {
 		{ID: "ablation", Title: "Pruning-rule ablation (extension)", Run: RunAblation},
 		{ID: "batch", Title: "Concurrent batch-query throughput (extension)", Run: RunBatch},
 		{ID: "pbuild", Title: "Parallel index construction (extension)", Run: RunPBuild},
+		{ID: "serve", Title: "Cached vs uncached query serving (extension)", Run: RunServe},
 	}
 }
 

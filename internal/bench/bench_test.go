@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -30,8 +31,8 @@ func microConfig() Config {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(exps))
+	if len(exps) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(exps))
 	}
 	for _, e := range exps {
 		got, err := ByID(e.ID)
@@ -160,6 +161,22 @@ func TestRunBatchMicro(t *testing.T) {
 	checkTables(t, tables, err, 2) // AD and TW rows
 	if len(tables) != 1 {
 		t.Fatalf("batch should produce one table, got %d", len(tables))
+	}
+}
+
+func TestRunServeMicro(t *testing.T) {
+	tables, err := RunServe(microConfig())
+	checkTables(t, tables, err, 2) // AD and TW rows
+	if len(tables) != 1 {
+		t.Fatalf("serve should produce one table, got %d", len(tables))
+	}
+	// The Zipf replay must actually exercise the cache: with a 25x replay
+	// of the pool, the steady-state hit rate is way above this floor.
+	for _, row := range tables[0].Rows {
+		var pct float64
+		if _, err := fmt.Sscanf(row[3], "%f%%", &pct); err != nil || pct < 50 {
+			t.Errorf("serve row %v: implausible cache hit rate %q", row, row[3])
+		}
 	}
 }
 

@@ -19,7 +19,7 @@ func RunTable3(cfg Config) ([]*Table, error) {
 			"Dataset", "|V|", "|E|", "|L|", "Loops", "Triangles",
 			"orig |V|", "orig |E|", "orig loops", "orig triangles",
 		},
-		Notes: []string{fmt.Sprintf("Replica scale %.4f of original vertices, capped at %d vertices; average degree, |L|, loop density and triangle density preserved (DESIGN.md §3).", cfg.Scale, cfg.MaxVertices)},
+		Notes: []string{fmt.Sprintf("Replica scale %.4f of original vertices, capped at %d vertices; average degree, |L|, loop density and triangle density preserved (see internal/datasets).", cfg.Scale, cfg.MaxVertices)},
 	}
 	for _, d := range datasets.All() {
 		if !cfg.wantDataset(d.Name) {

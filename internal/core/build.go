@@ -78,7 +78,7 @@ func (s *BuildStats) addAlgo(o BuildStats) {
 // entries at the vertices it reaches).
 //
 // A note on two pseudocode details that the paper's own running examples
-// disambiguate (see DESIGN.md §2.2): the kernel-search frontier registers
+// disambiguate (an implementation choice the original paper leaves open): the kernel-search frontier registers
 // the newly visited endpoint of each path (Example 5), and the kernel-BFS
 // keeps expanding after a *successful* insert but stops — rule PR3 — when
 // the insert was pruned by PR1 or PR2 (Examples 5 and 6).

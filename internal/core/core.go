@@ -1,23 +1,3 @@
-// Package core implements the RLC index — the paper's primary contribution
-// (Sections IV and V): a 2-hop-style reachability index for recursive
-// label-concatenated (RLC) queries (s, t, L+), where L is a concatenation of
-// at most k edge labels under the Kleene plus.
-//
-// Every vertex v carries two entry sets (Definition 4):
-//
-//	Lin(v)  = {(u, L) | u ⇝ v, L ∈ Sk(u, v)}
-//	Lout(v) = {(w, L) | v ⇝ w, L ∈ Sk(v, w)}
-//
-// where Sk(u, v) is the concise set of k-MRs of label sequences of paths
-// from u to v. A query (s, t, L+) holds iff a hub x carries matching entries
-// in Lout(s) and Lin(t), or a direct entry exists (Algorithm 1).
-//
-// The index is built by Algorithm 2: for every vertex in IN-OUT order, a
-// backward and a forward kernel-based search (KBS), each consisting of a
-// kernel-search phase (all label sequences up to length k) and a kernel-BFS
-// phase (guided by the Kleene plus of each kernel candidate), with pruning
-// rules PR1-PR3 making the index condensed (Definition 5, Theorem 2) while
-// preserving soundness and completeness (Theorem 3).
 package core
 
 import (

@@ -1,9 +1,3 @@
-// Package datasets registers profile replicas of the 13 real-world graphs
-// of Table III. The originals come from SNAP and KONECT and cannot be
-// fetched in this offline reproduction, so each is replaced by a synthetic
-// replica that preserves the characteristics the paper identifies as the
-// index's cost drivers: |V|:|E| ratio (average degree), label-set size,
-// degree skew, self-loop density and triangle density. See DESIGN.md §3.
 package datasets
 
 import (
@@ -17,8 +11,8 @@ import (
 type Dataset struct {
 	gen.Profile
 	// PaperIndexSeconds and PaperIndexMB are the RLC-index numbers the
-	// paper reports in Table IV (k = 2), used by EXPERIMENTS.md to place
-	// our measurements next to the originals.
+	// paper reports in Table IV (k = 2), rendered by the table4
+	// experiment to place our measurements next to the originals.
 	PaperIndexSeconds float64
 	PaperIndexMB      float64
 }

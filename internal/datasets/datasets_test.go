@@ -61,7 +61,7 @@ func TestReplicaVerticesScaling(t *testing.T) {
 }
 
 // TestReplicaPreservesShape verifies the characteristics the substitution
-// promises to preserve (DESIGN.md §3).
+// promises to preserve (see the package comment).
 func TestReplicaPreservesShape(t *testing.T) {
 	for _, name := range []string{"AD", "TW", "SO"} {
 		d, err := ByName(name)

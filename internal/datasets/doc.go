@@ -1,0 +1,7 @@
+// Package datasets registers profile replicas of the 13 real-world graphs
+// of Table III. The originals come from SNAP and KONECT and cannot be
+// fetched in this offline reproduction, so each is replaced by a synthetic
+// replica that preserves the characteristics the paper identifies as the
+// index's cost drivers: |V|:|E| ratio (average degree), label-set size,
+// degree skew, self-loop density and triangle density. The profile fields live in internal/gen.Profile.
+package datasets

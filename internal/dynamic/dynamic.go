@@ -1,28 +1,3 @@
-// Package dynamic extends the (static) RLC index to graphs that receive
-// edge insertions — the dynamic setting the paper explicitly leaves open
-// ("a static and centralized graph", Section II; streaming evaluation is
-// cited as orthogonal work).
-//
-// A DeltaGraph overlays a journal of inserted edges on an indexed base
-// graph. Queries stay exact:
-//
-//  1. If the base index answers true, the answer is true (insertions only
-//     add paths, never remove them).
-//  2. Otherwise a product BFS runs over the UNION graph (base + journal),
-//     accelerated by the base index: whenever the search crosses a period
-//     boundary at a vertex x, one probe answers whether x reaches the
-//     target through base edges alone — so any witness path decomposes
-//     into a traversed prefix (which may use new edges) and an indexed
-//     suffix, and true answers return as soon as the prefix is found.
-//
-// Amortization: when the journal grows past RebuildThreshold edges, the
-// next query folds the journal into the base and rebuilds the index. The
-// rebuild honors Options.IndexOptions.BuildWorkers, so fold-and-rebuild
-// runs on the parallel construction path by default (BuildWorkers zero
-// means GOMAXPROCS) — and, because the parallel build is deterministic,
-// the rebuilt index is identical to a sequential rebuild's. Deletions are
-// not supported (they can invalidate arbitrary entries); delete-heavy
-// workloads should rebuild, exactly as the paper's static setting implies.
 package dynamic
 
 import (

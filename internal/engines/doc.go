@@ -1,0 +1,18 @@
+// Package engines implements three from-scratch query engines standing in
+// for the mainstream systems of Table V (two anonymized commercial engines
+// and Virtuoso; an offline reproduction cannot ship the real systems, so faithful evaluation-strategy stand-ins take their place). Each reproduces one of
+// the evaluation strategies production systems use for regular path
+// queries:
+//
+//   - Sys1: tuple-at-a-time navigational evaluation — an automaton-guided
+//     DFS interpreter with per-query plan setup and hash-based visited
+//     tracking.
+//   - Sys2: set-at-a-time Volcano-style evaluation — breadth-wise expansion
+//     operators that materialize, sort and deduplicate a frontier per step.
+//   - VirtuosoLike: relational evaluation over a label-partitioned sorted
+//     edge table, computing recursion by semi-naive fixpoint joins.
+//
+// All three are exact (they agree with online traversal on every query);
+// what differs — and what Table V measures — is the constant-factor and
+// asymptotic cost of their strategies against one RLC-index lookup.
+package engines

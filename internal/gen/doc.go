@@ -1,0 +1,8 @@
+// Package gen generates the synthetic graphs of the paper's evaluation: the
+// Erdős–Rényi (ER) and Barabási–Albert (BA) models of Section VI-B
+// (replacing the JGraphT generators used by the authors), Zipfian edge-label
+// assignment with exponent 2 (Section VI-b), and profile-driven replicas of
+// the real-world datasets of Table III (see internal/datasets for the substitution rationale).
+//
+// All generators are deterministic under their seed.
+package gen

@@ -12,7 +12,7 @@ import (
 // label-set size, degree skew, and cyclicity (self loops and triangles).
 // Generate produces a synthetic replica preserving these characteristics at
 // a chosen scale — the offline substitute for the SNAP/KONECT downloads
-// (DESIGN.md §3).
+// (see internal/datasets).
 type Profile struct {
 	Name     string
 	Vertices int

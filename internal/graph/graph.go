@@ -1,12 +1,3 @@
-// Package graph implements the edge-labeled directed graph substrate of the
-// RLC index: a compact CSR (compressed sparse row) representation with both
-// out- and in-adjacency, a text loader/writer, and the graph statistics the
-// paper reports (self-loop count, triangle count, degrees).
-//
-// A graph G = (V, E, L) has vertices 0..NumVertices()-1, labels
-// 0..NumLabels()-1 and directed labeled edges (src, label, dst). Parallel
-// edges with distinct labels are allowed; exact duplicate edges are removed
-// at build time.
 package graph
 
 import (

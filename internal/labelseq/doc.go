@@ -1,0 +1,10 @@
+// Package labelseq implements the label-sequence algebra underlying the RLC
+// index: minimum repeats (MR) of label sequences, kernel/tail decompositions
+// (Definition 3 of the paper), and an interning dictionary that maps the
+// minimum repeats recorded by the index to small integer ids.
+//
+// A label sequence is a []Label. The central notion is the minimum repeat:
+// the unique shortest sequence L' such that L = (L')^z for an integer z >= 1
+// (Lemma 1 of the paper proves uniqueness). Minimum repeats are computed with
+// the Knuth-Morris-Pratt failure function in O(|L|).
+package labelseq

@@ -1,19 +1,3 @@
-// Package plain implements a pruned 2-hop labeling index for PLAIN
-// reachability — the classical framework (Cohen et al. 2002; pruned
-// landmark labeling) that Section II surveys and that the RLC index
-// generalizes. It serves two roles in this repository:
-//
-//   - as the related-work substrate demonstrating the paper's point that
-//     plain reachability indexes are insufficient for RLC queries (they
-//     ignore labels entirely: see TestPlainInsufficientForRLC), and
-//   - as an optional negative pre-filter: if t is not plainly reachable
-//     from s, no constraint can hold, so (s, t, L+) is false for every L.
-//
-// The index assigns each vertex v two sorted sets of hub ranks: IN(v)
-// (hubs that reach v) and OUT(v) (hubs v reaches); s ⇝ t iff the sets
-// OUT(s) and IN(t) intersect. Construction prunes each hub's BFS with the
-// partially built index, which keeps labels small on the same degree-
-// ordered schedule the RLC index uses.
 package plain
 
 import (

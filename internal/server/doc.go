@@ -1,0 +1,29 @@
+// Package server is the long-running query-serving layer over an RLC index:
+// an HTTP/JSON surface that composes everything on the read path — the CSR
+// index (internal/core), the concurrent batch worker pool
+// (Index.QueryBatchInto), and the hybrid evaluator fallback for expressions
+// outside the index's L+ class (internal/hybrid) — behind four endpoints:
+//
+//	GET  /query?s=&t=&l=   one query; l is any expression the CLIs accept
+//	POST /batch            many (s, t, L+) queries fanned over the pool
+//	GET  /stats            cache counters, latency histograms, index stats
+//	GET  /healthz          liveness
+//
+// In front of the index sits a sharded LRU result cache (cache.go): lookups
+// hash to one of a power-of-two number of independently locked shards, each
+// an intrusive-list LRU over a flat node slice. Concurrent identical misses
+// are deduplicated singleflight-style — the first caller computes, the rest
+// wait on its in-flight handle — so a thundering herd on one hot query costs
+// one index probe. Query answers over an immutable index never go stale,
+// which is what makes an unbounded-TTL LRU sound here; the dynamic layer
+// (internal/dynamic) would need invalidation and deliberately sits outside
+// this server.
+//
+// Latency is tracked per endpoint in lock-free log2-bucket histograms
+// (metrics.go); /stats reports mean, p50/p90/p99 upper bounds, and max in
+// microseconds.
+//
+// The Server is wrapped by the rlc facade (rlc.NewServer) and the rlcserve
+// command, which adds flag parsing, on-the-fly index construction, and
+// signal-driven graceful shutdown.
+package server

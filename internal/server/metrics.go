@@ -1,0 +1,115 @@
+package server
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i counts
+// observations in [2^(i-1), 2^i) microseconds (bucket 0 is < 1µs), so the
+// range reaches 2^30 µs ≈ 18 minutes — far past any request this server
+// should ever serve.
+const histBuckets = 31
+
+// histogram is a lock-free log2 latency histogram. Recording is one atomic
+// add per observation plus a CAS loop for the running max; snapshots read the
+// counters without stopping writers, so a snapshot under load is a close
+// approximation, which is all /stats needs.
+type histogram struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// observe records one request's latency; failed reports a request answered
+// with an error status (it is still timed — slow failures matter).
+func (h *histogram) observe(d time.Duration, failed bool) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	if failed {
+		h.errors.Add(1)
+	}
+	h.sumUS.Add(us)
+	for {
+		old := h.maxUS.Load()
+		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	h.buckets[bucketOf(us)].Add(1)
+}
+
+// bucketOf maps a microsecond latency to its log2 bucket.
+func bucketOf(us int64) int {
+	b := 0
+	for us > 0 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// EndpointStats is the /stats rendering of one endpoint's histogram.
+type EndpointStats struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	// MeanMicros/P50/P90/P99 are derived from the log2 buckets, so the
+	// quantiles are upper bounds with at most 2x resolution.
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MaxMicros  int64   `json:"max_us"`
+}
+
+// snapshot derives the reported statistics from the live counters.
+func (h *histogram) snapshot() EndpointStats {
+	st := EndpointStats{
+		Count:     h.count.Load(),
+		Errors:    h.errors.Load(),
+		MaxMicros: h.maxUS.Load(),
+	}
+	if st.Count == 0 {
+		return st
+	}
+	st.MeanMicros = float64(h.sumUS.Load()) / float64(st.Count)
+
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return st
+	}
+	st.P50Micros = quantile(counts[:], total, 0.50)
+	st.P90Micros = quantile(counts[:], total, 0.90)
+	st.P99Micros = quantile(counts[:], total, 0.99)
+	return st
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func quantile(counts []int64, total int64, q float64) float64 {
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			return math.Pow(2, float64(i))
+		}
+	}
+	return math.Pow(2, float64(len(counts)))
+}

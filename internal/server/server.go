@@ -1,0 +1,548 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/automaton"
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/hybrid"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// Default sizing for the zero-value Options.
+const (
+	// DefaultCacheEntries is the result-cache capacity when
+	// Options.CacheEntries is zero: 64Ki answers at ~tens of bytes each.
+	DefaultCacheEntries = 1 << 16
+	// DefaultMaxBatch bounds a single POST /batch request.
+	DefaultMaxBatch = 8192
+)
+
+// Options configures a Server. The zero value serves with a default-sized
+// cache, GOMAXPROCS batch workers, and the default batch size limit.
+type Options struct {
+	// CacheEntries is the total result-cache capacity across all shards.
+	// Zero selects DefaultCacheEntries; negative disables the cache (every
+	// request goes to the index — the bench "serve" experiment's baseline).
+	CacheEntries int
+
+	// CacheShards is the number of independently locked cache shards,
+	// rounded up to a power of two. Zero selects 2*GOMAXPROCS (rounded).
+	CacheShards int
+
+	// BatchWorkers is the worker count handed to Index.QueryBatchInto for
+	// POST /batch requests; 0 means GOMAXPROCS.
+	BatchWorkers int
+
+	// MaxBatch caps the number of queries accepted in one POST /batch
+	// request; zero selects DefaultMaxBatch.
+	MaxBatch int
+
+	// BuildStats, when non-nil, is reported verbatim under "build" in
+	// /stats — wire it up when the index was built on startup.
+	BuildStats *core.BuildStats
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries == 0 {
+		o.CacheEntries = DefaultCacheEntries
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 2 * runtime.GOMAXPROCS(0)
+	}
+	o.CacheShards = nextPow2(o.CacheShards)
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	return o
+}
+
+// maxCacheShards bounds the shard count: far above any real contention need,
+// and it keeps the power-of-two rounding below from overflowing on absurd
+// operator input.
+const maxCacheShards = 1 << 16
+
+func nextPow2(v int) int {
+	if v > maxCacheShards {
+		return maxCacheShards
+	}
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Server answers RLC reachability queries over HTTP, fronting an immutable
+// Index with a sharded LRU result cache. One Server may serve any number of
+// concurrent connections; all state behind the handlers is either immutable
+// (graph, index), sharded under short critical sections (cache), or pooled
+// (hybrid evaluators).
+type Server struct {
+	ix    *core.Index
+	g     *graph.Graph
+	opts  Options
+	cache *cache // nil when disabled
+	start time.Time
+
+	// hybrids pools hybrid evaluators: they carry per-traversal scratch
+	// sized by the graph and are not safe for concurrent use.
+	hybrids sync.Pool
+
+	// batchBufs pools []core.BatchResult buffers so a steady stream of
+	// POST /batch requests goes through QueryBatchInto without allocating
+	// a result slice per request.
+	batchBufs sync.Pool
+
+	mQuery   histogram
+	mBatch   histogram
+	mStats   histogram
+	mHealthz histogram
+
+	// hs is created eagerly so a Shutdown that races ahead of Serve still
+	// marks the server closed (Serve then returns http.ErrServerClosed,
+	// matching the net/http contract) instead of silently no-opping.
+	hs *http.Server
+}
+
+// New returns a Server over ix.
+func New(ix *core.Index, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		ix:    ix,
+		g:     ix.Graph(),
+		opts:  opts,
+		start: time.Now(),
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = newCache(opts.CacheEntries, opts.CacheShards)
+	}
+	s.hybrids.New = func() any { return hybrid.New(ix) }
+	s.hs = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints:
+//
+//	GET  /query?s=&t=&l=   one query; l is an expression ("(l0 l1)+", "a+ b+")
+//	POST /batch            {"queries":[{"s":0,"t":4,"l":"l0 l1"},...]}
+//	GET  /stats            cache, latency, index and build statistics
+//	GET  /healthz          liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.timed(&s.mQuery, s.handleQuery))
+	mux.HandleFunc("POST /batch", s.timed(&s.mBatch, s.handleBatch))
+	mux.HandleFunc("GET /stats", s.timed(&s.mStats, s.handleStats))
+	mux.HandleFunc("GET /healthz", s.timed(&s.mHealthz, s.handleHealthz))
+	return mux
+}
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.hs.Serve(ln)
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown stops accepting new connections and waits for in-flight requests
+// to complete, like net/http.Server.Shutdown. Calling it before Serve marks
+// the server closed, so a later Serve returns http.ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.hs.Shutdown(ctx)
+}
+
+// CacheStats snapshots the result-cache counters (the zero value when the
+// cache is disabled).
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}
+
+// AnswerRLC answers one (s, t, L+) query through the serving path — cache,
+// singleflight, then index (or the traversal fallback when L is outside the
+// index's class) — without the HTTP layer. cached reports a cache hit. The
+// bench "serve" experiment uses it to measure the serving layer itself
+// rather than the HTTP stack; a cache hit costs one packed-key probe and no
+// allocation.
+func (s *Server) AnswerRLC(src, dst graph.Vertex, l labelseq.Seq) (reachable, cached bool, err error) {
+	compute := func() (bool, error) { return s.computeSeq(src, dst, l) }
+	if s.cache == nil {
+		reachable, err = compute()
+		return reachable, false, err
+	}
+	return s.cache.do(s.seqKey(src, dst, l), compute)
+}
+
+// computeSeq answers (src, dst, l+) on a cache miss: Index.Query when the
+// constraint is in the index's class, the pooled hybrid evaluator (which
+// falls back to NFA-guided traversal) otherwise.
+func (s *Server) computeSeq(src, dst graph.Vertex, l labelseq.Seq) (bool, error) {
+	if len(l) > 0 && len(l) <= s.ix.K() && labelseq.IsPrimitive(l) {
+		return s.ix.Query(src, dst, l)
+	}
+	h := s.hybrids.Get().(*hybrid.Evaluator)
+	defer s.hybrids.Put(h)
+	return h.Eval(src, dst, automaton.Plus(l))
+}
+
+// seqKey builds the cache key of a single-L+ query: the packed sequence code
+// when it fits, the canonical expression text otherwise.
+func (s *Server) seqKey(src, dst graph.Vertex, l labelseq.Seq) cacheKey {
+	if code, ok := s.packSeq(l); ok {
+		return cacheKey{s: int32(src), t: int32(dst), code: code}
+	}
+	return cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(automaton.Plus(l))}
+}
+
+// packSeq packs l into the base-(numLabels+1) code cacheKey uses, refusing
+// sequences that overflow 63 bits or carry out-of-range labels (both are
+// answered — and rejected — downstream; they just can't use the packed key).
+func (s *Server) packSeq(l labelseq.Seq) (uint64, bool) {
+	base := uint64(s.g.NumLabels() + 1)
+	var code uint64
+	for _, lb := range l {
+		if lb < 0 || uint64(lb+1) >= base || code > (1<<63)/base {
+			return 0, false
+		}
+		code = code*base + uint64(lb+1)
+	}
+	return code, true
+}
+
+// answerExpr answers a parsed expression through the cache. Single
+// plus-segment expressions take the packed-key path; multi-segment
+// expressions are keyed by canonical text and computed by a pooled hybrid
+// evaluator.
+func (s *Server) answerExpr(src, dst graph.Vertex, e automaton.Expr) (reachable, cached bool, err error) {
+	if len(e.Segments) == 1 && e.Segments[0].Plus {
+		return s.AnswerRLC(src, dst, e.Segments[0].Labels)
+	}
+	compute := func() (bool, error) {
+		h := s.hybrids.Get().(*hybrid.Evaluator)
+		defer s.hybrids.Put(h)
+		return h.Eval(src, dst, e)
+	}
+	if s.cache == nil {
+		reachable, err = compute()
+		return reachable, false, err
+	}
+	key := cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(e)}
+	return s.cache.do(key, compute)
+}
+
+// canonicalExpr renders a parsed expression so that every spelling of the
+// same query shares one cache key; automaton.Expr.String is injective over
+// the parsed form, so it is the canonical encoding.
+func canonicalExpr(e automaton.Expr) string {
+	return e.String()
+}
+
+// parseExpr resolves an expression with the shared graph-aware rules
+// (automaton.ParseForGraph — the same resolver as the rlc facade and CLIs)
+// plus one serving-layer convenience: an expression with no '+' anywhere
+// ("l0 l1") is read as the single RLC constraint (l0 l1)+, so query URLs
+// don't need to escape parentheses for the common case.
+func (s *Server) parseExpr(text string) (automaton.Expr, error) {
+	e, err := automaton.ParseForGraph(text, s.g)
+	if err != nil {
+		return automaton.Expr{}, err
+	}
+	for _, seg := range e.Segments {
+		if seg.Plus {
+			return e, nil
+		}
+	}
+	var all labelseq.Seq
+	for _, seg := range e.Segments {
+		all = append(all, seg.Labels...)
+	}
+	return automaton.Plus(all), nil
+}
+
+// vertex resolves a vertex token: a numeric id first (O(1), the hot case for
+// programmatic clients), then a display-name scan.
+func (s *Server) vertex(tok string) (graph.Vertex, error) {
+	if id, err := strconv.Atoi(tok); err == nil {
+		if id < 0 || id >= s.g.NumVertices() {
+			return 0, fmt.Errorf("vertex %d out of range [0, %d)", id, s.g.NumVertices())
+		}
+		return graph.Vertex(id), nil
+	}
+	if v, ok := s.g.VertexByName(tok); ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown vertex %q", tok)
+}
+
+// timed wraps a handler with its endpoint histogram.
+func (s *Server) timed(h *histogram, fn func(http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ok := fn(w, r)
+		h.observe(time.Since(start), !ok)
+	}
+}
+
+// queryResponse is the GET /query reply.
+type queryResponse struct {
+	S         string  `json:"s"`
+	T         string  `json:"t"`
+	L         string  `json:"l"`
+	Reachable bool    `json:"reachable"`
+	Cached    bool    `json:"cached"`
+	Micros    float64 `json:"micros"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) bool {
+	q := r.URL.Query()
+	sTok, tTok, lTok := q.Get("s"), q.Get("t"), q.Get("l")
+	if sTok == "" || tTok == "" || lTok == "" {
+		return writeError(w, http.StatusBadRequest, "missing parameter: s, t, and l are all required")
+	}
+	src, err := s.vertex(sTok)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "s: %v", err)
+	}
+	dst, err := s.vertex(tTok)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "t: %v", err)
+	}
+	e, err := s.parseExpr(lTok)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "l: %v", err)
+	}
+
+	start := time.Now()
+	reachable, cached, err := s.answerExpr(src, dst, e)
+	if err != nil {
+		return writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+	return writeJSON(w, http.StatusOK, queryResponse{
+		S:         sTok,
+		T:         tTok,
+		L:         lTok,
+		Reachable: reachable,
+		Cached:    cached,
+		Micros:    float64(time.Since(start).Nanoseconds()) / 1e3,
+	})
+}
+
+// batchRequest is the POST /batch body. Each query's constraint must be a
+// single L+ segment (the class Index.QueryBatch answers); s and t accept
+// numeric ids or display names.
+type batchRequest struct {
+	// Workers overrides the server's batch worker count for this request
+	// (0 = server default). QueryBatch clamps any value to the available
+	// work, so a hostile request cannot spawn unbounded goroutines.
+	Workers int               `json:"workers,omitempty"`
+	Queries []batchQueryInput `json:"queries"`
+}
+
+type batchQueryInput struct {
+	S vertexToken `json:"s"`
+	T vertexToken `json:"t"`
+	L string      `json:"l"`
+}
+
+// vertexToken accepts a vertex as a JSON number (35) or string ("A14"),
+// normalizing both to the token the vertex resolver takes.
+type vertexToken string
+
+func (v *vertexToken) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		*v = vertexToken(s)
+		return nil
+	}
+	*v = vertexToken(b)
+	return nil
+}
+
+// batchQueryResult is one slot of the POST /batch reply; Error is set (and
+// Reachable false) when that query failed validation.
+type batchQueryResult struct {
+	Reachable bool   `json:"reachable"`
+	Error     string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchQueryResult `json:"results"`
+	Count   int                `json:"count"`
+	Cached  int                `json:"cached"`
+	Micros  float64            `json:"micros"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "decode request: %v", err)
+	}
+	if len(req.Queries) == 0 {
+		return writeError(w, http.StatusBadRequest, "empty batch")
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		return writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d queries exceeds the limit of %d", len(req.Queries), s.opts.MaxBatch)
+	}
+	workers := s.opts.BatchWorkers
+	if req.Workers > 0 && (workers <= 0 || req.Workers < workers) {
+		workers = req.Workers
+	}
+
+	start := time.Now()
+	resp := batchResponse{
+		Results: make([]batchQueryResult, len(req.Queries)),
+		Count:   len(req.Queries),
+	}
+
+	// Resolve every query, peel off cache hits, and collect the misses
+	// into one sub-batch for the worker pool.
+	type miss struct {
+		pos int
+		key cacheKey
+	}
+	var (
+		misses  []miss
+		pending []core.BatchQuery
+	)
+	for i, in := range req.Queries {
+		src, dst, l, err := s.resolveBatchQuery(in)
+		if err != nil {
+			resp.Results[i] = batchQueryResult{Error: err.Error()}
+			continue
+		}
+		key := s.seqKey(src, dst, l)
+		if s.cache != nil {
+			if val, ok := s.cache.get(key); ok {
+				resp.Results[i] = batchQueryResult{Reachable: val}
+				resp.Cached++
+				continue
+			}
+		}
+		misses = append(misses, miss{pos: i, key: key})
+		pending = append(pending, core.BatchQuery{S: src, T: dst, L: l})
+	}
+
+	if len(pending) > 0 {
+		bufp, _ := s.batchBufs.Get().(*[]core.BatchResult)
+		if bufp == nil {
+			bufp = new([]core.BatchResult)
+		}
+		*bufp = s.ix.QueryBatchInto(pending, workers, *bufp)
+		for j, res := range *bufp {
+			m := misses[j]
+			if res.Err != nil {
+				resp.Results[m.pos] = batchQueryResult{Error: res.Err.Error()}
+				continue
+			}
+			resp.Results[m.pos] = batchQueryResult{Reachable: res.Reachable}
+			if s.cache != nil {
+				s.cache.put(m.key, res.Reachable)
+			}
+		}
+		s.batchBufs.Put(bufp)
+	}
+	resp.Micros = float64(time.Since(start).Nanoseconds()) / 1e3
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveBatchQuery validates one batch input into index-level terms. The
+// constraint must parse to a single plus segment — the QueryBatch class.
+func (s *Server) resolveBatchQuery(in batchQueryInput) (graph.Vertex, graph.Vertex, labelseq.Seq, error) {
+	src, err := s.vertex(string(in.S))
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("s: %w", err)
+	}
+	dst, err := s.vertex(string(in.T))
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("t: %w", err)
+	}
+	e, err := s.parseExpr(in.L)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("l: %w", err)
+	}
+	if len(e.Segments) != 1 || !e.Segments[0].Plus {
+		return 0, 0, nil, errors.New("l: batch queries need a single L+ segment; use GET /query for multi-segment expressions")
+	}
+	return src, dst, e.Segments[0].Labels, nil
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Index         core.Stats               `json:"index"`
+	Build         *core.BuildStats         `json:"build,omitempty"`
+	Cache         *CacheStats              `json:"cache,omitempty"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Index:         s.ix.Stats(),
+		Build:         s.opts.BuildStats,
+		Endpoints: map[string]EndpointStats{
+			"query":   s.mQuery.snapshot(),
+			"batch":   s.mBatch.snapshot(),
+			"stats":   s.mStats.snapshot(),
+			"healthz": s.mHealthz.snapshot(),
+		},
+	}
+	if s.cache != nil {
+		st := s.cache.stats()
+		resp.Cache = &st
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+	return true
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError reports a request failure; the bool return (always false) lets
+// handlers `return writeError(...)` and feed the endpoint error counter.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) bool {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) bool {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already written, so an encode error cannot change
+	// the response; the client sees the truncated body and fails its parse.
+	_ = json.NewEncoder(w).Encode(v)
+	return status < 400
+}

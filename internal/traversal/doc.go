@@ -1,0 +1,9 @@
+// Package traversal implements the online-traversal baselines of the paper
+// (Section III-B and VI-a): breadth-first and bidirectional breadth-first
+// searches over the product of the graph and a constraint NFA. These are the
+// "BFS" and "BiBFS" competitors of the experimental section.
+//
+// An Evaluator owns reusable scratch space (epoch-stamped visited arrays and
+// queues), so evaluating the paper's 1000-query workloads does not reallocate
+// per query.
+package traversal

@@ -1,15 +1,3 @@
-// Package workload generates RLC query workloads following Section VI-c of
-// the paper: per graph, a set of true-queries and a set of false-queries
-// (1000 each in the paper), with uniformly drawn endpoints and constraints,
-// ground-truthed by bidirectional BFS.
-//
-// Pure rejection sampling — the paper's method — finds true queries slowly
-// on sparse graphs, so a guided mode mines them by sampling a source and a
-// constraint and picking a reachable target from an online search. Both
-// modes produce queries with exactly the same admissibility guarantees
-// (primitive constraints of the requested length); the guided mode only
-// changes how fast true queries are found. Generators are deterministic
-// under their seed.
 package workload
 
 import (

@@ -55,12 +55,28 @@
 // Rebuilds of a DeltaGraph inherit the same option through
 // DeltaOptions.IndexOptions.
 //
+// # Serving
+//
+// NewServer wraps an index in a long-running HTTP/JSON query service with a
+// sharded LRU result cache (with singleflight deduplication of concurrent
+// identical misses) in front of the index, per-endpoint latency histograms,
+// and graceful shutdown — the production read path the rlcserve command
+// exposes:
+//
+//	srv := rlc.NewServer(ix, rlc.ServerOptions{})
+//	go srv.ListenAndServe(":8080")
+//	...
+//	srv.Shutdown(ctx)
+//
+// See GET /query, POST /batch, GET /stats, and GET /healthz on the returned
+// server's Handler.
+//
 // The package also ships the paper's baselines (NFA-guided BFS and BiBFS,
 // the extended transitive closure), three mainstream-engine comparators,
 // synthetic graph generators (Erdős–Rényi, Barabási–Albert, Zipfian
 // labels), workload generation, and a benchmark harness reproducing every
-// table and figure of the paper's evaluation (see cmd/rlcbench and
-// EXPERIMENTS.md).
+// table and figure of the paper's evaluation (see cmd/rlcbench and the
+// README).
 package rlc
 
 import (
@@ -75,6 +91,7 @@ import (
 	"github.com/g-rpqs/rlc-go/internal/hybrid"
 	"github.com/g-rpqs/rlc-go/internal/labelseq"
 	"github.com/g-rpqs/rlc-go/internal/plain"
+	"github.com/g-rpqs/rlc-go/internal/server"
 	"github.com/g-rpqs/rlc-go/internal/traversal"
 	"github.com/g-rpqs/rlc-go/internal/workload"
 )
@@ -267,16 +284,7 @@ func ConcatPlusExpr(ls ...Seq) Expr { return automaton.ConcatPlus(ls...) }
 // against g ("(debits credits)+", "knows+", "a+ b+"). Graphs without label
 // names accept "l0"/"0" tokens.
 func ParseExpr(s string, g *Graph) (Expr, error) {
-	return automaton.Parse(s, func(tok string) (Label, bool) {
-		if l, ok := g.LabelByName(tok); ok {
-			return l, true
-		}
-		l, ok := automaton.NumericLabels(tok)
-		if !ok || int(l) >= g.NumLabels() {
-			return l, false
-		}
-		return l, ok
-	})
+	return automaton.ParseForGraph(s, g)
 }
 
 // Workload types and generation (Section VI-c).
@@ -328,6 +336,30 @@ func NewDeltaGraph(g *Graph, ix *Index, opts DeltaOptions) *DeltaGraph {
 func BuildDeltaGraph(g *Graph, opts DeltaOptions) (*DeltaGraph, error) {
 	return dynamic.Build(g, opts)
 }
+
+// Query-serving layer (internal/server): a long-running HTTP/JSON service
+// with a sharded LRU result cache fronting the index.
+type (
+	// Server answers RLC queries over HTTP; see its Handler method for
+	// the endpoints.
+	Server = server.Server
+	// ServerOptions configures NewServer; the zero value serves with a
+	// default-sized cache.
+	ServerOptions = server.Options
+	// CacheStats is a snapshot of the server's result-cache counters.
+	CacheStats = server.CacheStats
+	// EndpointStats is the /stats rendering of one endpoint's latency
+	// histogram.
+	EndpointStats = server.EndpointStats
+)
+
+// DefaultCacheEntries is the server's result-cache capacity when
+// ServerOptions.CacheEntries is zero.
+const DefaultCacheEntries = server.DefaultCacheEntries
+
+// NewServer returns an HTTP query server over ix. Start it with
+// ListenAndServe or mount its Handler; stop it with Shutdown.
+func NewServer(ix *Index, opts ServerOptions) *Server { return server.New(ix, opts) }
 
 // ExampleFig1 returns the paper's Figure 1 social/financial network.
 func ExampleFig1() *Graph { return graph.Fig1() }

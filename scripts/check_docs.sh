@@ -1,0 +1,36 @@
+#!/bin/sh
+# check_docs.sh — fail if any package in the module lacks a package-level doc
+# comment. Driven by `go doc`, whose rendering makes the check simple: for a
+# library package, line 3 of the output is the first line of the doc comment
+# ("Package <name> ..."); for a main package, the doc comment itself leads
+# the output. CI runs this in the docs job; run it locally before sending a
+# change that adds a package.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for pkg in $(go list ./...); do
+	if [ "$(go list -f '{{.Name}}' "$pkg")" = "main" ]; then
+		first=$(go doc "$pkg" 2>/dev/null | head -n 1)
+		case "$first" in
+		"" | "package "*)
+			echo "missing package doc: $pkg"
+			status=1
+			;;
+		esac
+	else
+		third=$(go doc "$pkg" 2>/dev/null | sed -n '3p')
+		case "$third" in
+		"Package "*) ;;
+		*)
+			echo "missing package doc: $pkg"
+			status=1
+			;;
+		esac
+	fi
+done
+
+if [ "$status" -ne 0 ]; then
+	echo "every package needs a package-level comment (see ARCHITECTURE.md); put it in doc.go for multi-file packages" >&2
+fi
+exit $status
