@@ -18,7 +18,7 @@ import (
 var cliTools = map[string]string{
 	"rlcbuild":   "rlcbuild — build and serialize an RLC index for a graph file",
 	"rlcquery":   "rlcquery — evaluate RLC (and extended) queries against a graph",
-	"rlcserve":   "rlcserve — serve RLC reachability queries over HTTP with a result cache",
+	"rlcserve":   "rlcserve — serve RLC reachability queries over HTTP with a result cache and hot-reloadable snapshots",
 	"rlcgen":     "rlcgen — generate synthetic graphs and query workloads",
 	"rlcinspect": "rlcinspect — print RLC index internals: stats, distributions, entry sets",
 	"rlcbench":   "rlcbench — reproduce the paper's experimental tables and figures",

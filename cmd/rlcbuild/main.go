@@ -1,7 +1,9 @@
 // Command rlcbuild constructs an RLC index for a graph file and serializes
-// it.
+// it — preferably as a self-contained v2 snapshot bundle (-o), the format
+// rlcserve memory-maps at startup and hot-swaps on reload; the legacy
+// two-file v1 index format (-out) remains supported.
 //
-//	rlcbuild -graph g.graph -k 2 -out g.rlc
+//	rlcbuild -graph g.graph -k 2 -o g.rlcs
 //	rlcbuild -graph g.graph -k 2 -buildworkers 8 -out g.rlc
 //
 // It prints the indexing time and index statistics that Table IV reports.
@@ -25,7 +27,8 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "input graph file (required)")
 		k         = flag.Int("k", 2, "recursive k")
-		out       = flag.String("out", "", "output index file (required)")
+		out       = flag.String("out", "", "output v1 index file (graph not embedded)")
+		bundle    = flag.String("o", "", "output v2 snapshot bundle (self-contained, mmap-served)")
 		workers   = flag.Int("buildworkers", 0, "construction workers (0 = GOMAXPROCS, 1 = sequential)")
 		noPR1     = flag.Bool("no-pr1", false, "disable pruning rule PR1 (ablation)")
 		noPR2     = flag.Bool("no-pr2", false, "disable pruning rule PR2 (ablation)")
@@ -38,8 +41,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if *graphPath == "" || *out == "" {
-		fatalf("missing -graph or -out")
+	if *graphPath == "" {
+		fatalf("missing -graph")
+	}
+	if *out == "" && *bundle == "" {
+		fatalf("missing output: -o bundle.rlcs (snapshot bundle) and/or -out index.rlc (v1 index)")
 	}
 	if *workers < 0 {
 		fatalf("-buildworkers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
@@ -75,14 +81,33 @@ func main() {
 			bst.Windows, bst.Speculated, bst.Committed, bst.Rerun)
 	}
 
-	if err := ix.SaveFile(*out); err != nil {
-		fatalf("save index: %v", err)
+	if *out != "" {
+		if err := ix.SaveFile(*out); err != nil {
+			fatalf("save index: %v", err)
+		}
+		fmt.Printf("wrote %s (v1 index; serve it together with %s)\n", *out, *graphPath)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	if *bundle != "" {
+		if err := ix.SaveSnapshotFile(*bundle); err != nil {
+			fatalf("save snapshot: %v", err)
+		}
+		// Re-open and verify what was just written: a bundle that fails its
+		// own checksums should never leave the build step.
+		snap, err := rlc.OpenSnapshot(*bundle)
+		if err != nil {
+			fatalf("reopen snapshot: %v", err)
+		}
+		if err := snap.Verify(); err != nil {
+			snap.Close()
+			fatalf("verify snapshot: %v", err)
+		}
+		snap.Close()
+		fmt.Printf("wrote %s (self-contained snapshot bundle, verified; serve with rlcserve -snapshot)\n", *bundle)
+	}
 }
 
 func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcbuild -graph FILE -out FILE [flags]\n\nflags:\n", synopsis)
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcbuild -graph FILE (-o BUNDLE | -out FILE) [flags]\n\nflags:\n", synopsis)
 	flag.PrintDefaults()
 }
 

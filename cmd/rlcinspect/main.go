@@ -1,8 +1,11 @@
 // Command rlcinspect prints the internals of an RLC index: summary
 // statistics, entry and hub distributions (the skew behind the paper's
 // Figure 5/6 discussion), and the decoded Lin/Lout sets of chosen vertices
-// (the Table II view).
+// (the Table II view). Pointed at a v2 snapshot bundle it also dumps the
+// bundle's section table — ids, offsets, lengths, checksums — and verifies
+// every section.
 //
+//	rlcinspect -snapshot g.rlcs
 //	rlcinspect -graph g.graph -index g.rlc
 //	rlcinspect -graph g.graph -k 2 -vertices 0,3,5
 package main
@@ -22,11 +25,12 @@ const synopsis = "rlcinspect — print RLC index internals: stats, distributions
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "input graph file (required)")
-		indexPath = flag.String("index", "", "index file (built on the fly when omitted)")
-		k         = flag.Int("k", 2, "recursive k when building on the fly")
-		vertices  = flag.String("vertices", "", "comma-separated vertex ids whose Lin/Lout to print")
-		order     = flag.Bool("order", false, "print the full access order")
+		snapshotPath = flag.String("snapshot", "", "snapshot bundle (.rlcs); prints the section table and verifies checksums")
+		graphPath    = flag.String("graph", "", "input graph file (required unless -snapshot)")
+		indexPath    = flag.String("index", "", "index file (built on the fly when omitted)")
+		k            = flag.Int("k", 2, "recursive k when building on the fly")
+		vertices     = flag.String("vertices", "", "comma-separated vertex ids whose Lin/Lout to print")
+		order        = flag.Bool("order", false, "print the full access order")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -35,21 +39,35 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if *graphPath == "" {
-		fatalf("missing -graph")
+	if (*snapshotPath == "") == (*graphPath == "") {
+		fatalf("exactly one of -snapshot or -graph is required")
 	}
-	g, err := rlc.LoadGraphFile(*graphPath)
-	if err != nil {
-		fatalf("load graph: %v", err)
-	}
-	var ix *rlc.Index
-	if *indexPath != "" {
-		ix, err = rlc.LoadIndexFile(*indexPath, g)
+	var (
+		g   *rlc.Graph
+		ix  *rlc.Index
+		err error
+	)
+	if *snapshotPath != "" {
+		snap, serr := rlc.OpenSnapshot(*snapshotPath)
+		if serr != nil {
+			fatalf("open snapshot: %v", serr)
+		}
+		defer snap.Close()
+		dumpSections(snap)
+		g, ix = snap.Graph(), snap.Index()
 	} else {
-		ix, err = rlc.BuildIndex(g, rlc.Options{K: *k})
-	}
-	if err != nil {
-		fatalf("index: %v", err)
+		g, err = rlc.LoadGraphFile(*graphPath)
+		if err != nil {
+			fatalf("load graph: %v", err)
+		}
+		if *indexPath != "" {
+			ix, err = rlc.LoadIndexFile(*indexPath, g)
+		} else {
+			ix, err = rlc.BuildIndex(g, rlc.Options{K: *k})
+		}
+		if err != nil {
+			fatalf("index: %v", err)
+		}
 	}
 
 	st := ix.Stats()
@@ -89,6 +107,49 @@ func main() {
 	}
 }
 
+// sectionNames maps the RLC bundle's section ids to display names (ids are
+// defined in internal/core's snapshot layout).
+var sectionNames = map[uint32]string{
+	1: "meta", 2: "graph-out-off", 3: "graph-out-dst", 4: "graph-out-lbl",
+	5: "graph-in-off", 6: "graph-in-src", 7: "graph-in-lbl", 8: "dict",
+	9: "order", 10: "entries", 11: "index-out-off", 12: "index-in-off",
+	13: "vertex-names", 14: "label-names",
+}
+
+// dumpSections prints the bundle's section table, checksumming each payload
+// exactly once, then cross-checks the embedded graph fingerprint — together
+// the same integrity pass as Snapshot.Verify, without re-reading the file.
+func dumpSections(snap *rlc.Snapshot) {
+	mode := "mmap"
+	if !snap.Mapped() {
+		mode = "heap"
+	}
+	fmt.Printf("snapshot %s: %.2f MB, %s, fingerprint %v\n",
+		snap.Path(), float64(snap.SizeBytes())/(1024*1024), mode, snap.Fingerprint())
+	fmt.Printf("%-4s %-14s %10s %12s %10s %s\n", "id", "section", "offset", "length", "crc32c", "verify")
+	corrupt := false
+	for _, sec := range snap.Sections() {
+		name := sectionNames[sec.ID]
+		if name == "" {
+			name = "?"
+		}
+		status := "ok"
+		if err := snap.VerifySection(sec.ID); err != nil {
+			status = "CORRUPT"
+			corrupt = true
+		}
+		fmt.Printf("%-4d %-14s %10d %12d   %08x %s\n", sec.ID, name, sec.Offset, sec.Length, sec.CRC, status)
+	}
+	if corrupt {
+		fatalf("snapshot failed checksum verification (see table above)")
+	}
+	if got := snap.Graph().Fingerprint(); got != snap.Fingerprint() {
+		fatalf("snapshot fingerprint mismatch: bundle records %v, embedded graph hashes to %v", snap.Fingerprint(), got)
+	}
+	fmt.Println("all sections verified")
+	fmt.Println()
+}
+
 func printEntries(g *rlc.Graph, entries []rlc.EntryView) {
 	if len(entries) == 0 {
 		fmt.Println("-")
@@ -102,7 +163,7 @@ func printEntries(g *rlc.Graph, entries []rlc.EntryView) {
 }
 
 func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcinspect -graph FILE [flags]\n\nflags:\n", synopsis)
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcinspect (-snapshot BUNDLE | -graph FILE) [flags]\n\nflags:\n", synopsis)
 	flag.PrintDefaults()
 }
 

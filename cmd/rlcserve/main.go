@@ -1,8 +1,10 @@
 // Command rlcserve is a long-running HTTP/JSON query service over an RLC
-// index: load a graph (and an index, or build one on the fly), then answer
-// single and batch reachability queries with a sharded LRU result cache in
-// front of the index.
+// index: serve a snapshot bundle (memory-mapped, hot-reloadable), or load a
+// graph (and an index, or build one on the fly), then answer single and
+// batch reachability queries with a sharded LRU result cache in front of
+// the index.
 //
+//	rlcserve -snapshot g.rlcs -addr :8080
 //	rlcserve -graph g.graph -index g.rlc -addr :8080
 //	rlcserve -graph g.graph -k 2 -buildworkers 0 -addr :8080
 //	curl 'localhost:8080/query?s=0&t=4&l=(l0 l1)+'
@@ -11,10 +13,17 @@
 //
 // Endpoints: GET /query (single query, any expression the CLIs accept,
 // including multi-segment ones like "a+ b+"), POST /batch (many L+ queries
-// fanned over the concurrent batch worker pool), GET /stats (cache hit/miss/
-// eviction counters, per-endpoint latency histograms, index and build
-// statistics), GET /healthz. SIGINT/SIGTERM trigger a graceful shutdown that
-// drains in-flight requests.
+// fanned over the concurrent batch worker pool), POST /reload (snapshot
+// mode only: hot-swap the bundle), GET /stats (cache hit/miss/eviction
+// counters, per-endpoint latency histograms, index and build statistics,
+// serving generation), GET /healthz. SIGINT/SIGTERM trigger a graceful
+// shutdown that drains in-flight requests.
+//
+// In snapshot mode, SIGHUP (or POST /reload) re-opens, verifies, and
+// atomically swaps in the bundle at the -snapshot path with zero downtime:
+// in-flight queries finish on the generation they started on; the old
+// mapping is released once they drain. Rebuild with `rlcbuild -o`, rename
+// into place, signal, done.
 package main
 
 import (
@@ -32,11 +41,12 @@ import (
 	rlc "github.com/g-rpqs/rlc-go"
 )
 
-const synopsis = "rlcserve — serve RLC reachability queries over HTTP with a result cache"
+const synopsis = "rlcserve — serve RLC reachability queries over HTTP with a result cache and hot-reloadable snapshots"
 
 func main() {
 	var (
-		graphPath    = flag.String("graph", "", "input graph file (required)")
+		snapshotPath = flag.String("snapshot", "", "snapshot bundle (.rlcs) to serve; enables SIGHUP / POST /reload hot swaps")
+		graphPath    = flag.String("graph", "", "input graph file (legacy two-file mode)")
 		indexPath    = flag.String("index", "", "index file (built on the fly when omitted)")
 		k            = flag.Int("k", 2, "recursive k when building on the fly")
 		buildWorkers = flag.Int("buildworkers", 0, "construction workers when building on the fly (0 = GOMAXPROCS)")
@@ -54,43 +64,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if *graphPath == "" {
-		fatalf("missing -graph")
+	if (*snapshotPath == "") == (*graphPath == "") {
+		fatalf("exactly one of -snapshot or -graph is required")
 	}
 	if *buildWorkers < 0 {
 		fatalf("-buildworkers must be >= 0 (0 = GOMAXPROCS), got %d", *buildWorkers)
 	}
-
-	g, err := rlc.LoadGraphFile(*graphPath)
-	if err != nil {
-		fatalf("load graph: %v", err)
-	}
-	fmt.Printf("graph: %d vertices, %d edges, %d labels\n", g.NumVertices(), g.NumEdges(), g.NumLabels())
-
-	var (
-		ix  *rlc.Index
-		bst *rlc.BuildStats
-	)
-	if *indexPath != "" {
-		start := time.Now()
-		ix, err = rlc.LoadIndexFile(*indexPath, g)
-		if err != nil {
-			fatalf("load index: %v", err)
-		}
-		fmt.Printf("index loaded from %s in %v\n", *indexPath, time.Since(start).Round(time.Millisecond))
-	} else {
-		start := time.Now()
-		var st rlc.BuildStats
-		ix, st, err = rlc.BuildIndexWithStats(g, rlc.Options{K: *k, BuildWorkers: *buildWorkers})
-		if err != nil {
-			fatalf("build index: %v", err)
-		}
-		bst = &st
-		fmt.Printf("index built in %v (%d build workers)\n", time.Since(start).Round(time.Millisecond), st.Workers)
-	}
-	st := ix.Stats()
-	fmt.Printf("index: k=%d, %d entries (%.2f MB), %d distinct MRs\n",
-		st.K, st.Entries, float64(st.SizeBytes)/(1024*1024), st.DistinctMRs)
 
 	// The cache flag speaks "0 = off"; the library speaks "negative = off"
 	// so that its zero value serves with a default-sized cache.
@@ -98,16 +77,82 @@ func main() {
 	if cacheEntries == 0 {
 		cacheEntries = -1
 	}
-	srv := rlc.NewServer(ix, rlc.ServerOptions{
+	opts := rlc.ServerOptions{
 		CacheEntries: cacheEntries,
 		CacheShards:  *cacheShards,
 		BatchWorkers: *workers,
 		MaxBatch:     *maxBatch,
-		BuildStats:   bst,
-	})
+	}
+
+	var srv *rlc.Server
+	if *snapshotPath != "" {
+		start := time.Now()
+		snap, err := openVerified(*snapshotPath)
+		if err != nil {
+			fatalf("open snapshot: %v", err)
+		}
+		mode := "mmap"
+		if !snap.Mapped() {
+			mode = "heap"
+		}
+		fmt.Printf("snapshot %s opened in %v (%s, %.2f MB, fingerprint %v)\n",
+			*snapshotPath, time.Since(start).Round(time.Microsecond), mode,
+			float64(snap.SizeBytes())/(1024*1024), snap.Fingerprint())
+		g := snap.Graph()
+		fmt.Printf("graph: %d vertices, %d edges, %d labels\n", g.NumVertices(), g.NumEdges(), g.NumLabels())
+		printIndexStats(snap.Index())
+		opts.SnapshotSource = func() (*rlc.Snapshot, error) { return openVerified(*snapshotPath) }
+		srv = rlc.NewServerFromSnapshot(snap, opts)
+	} else {
+		g, err := rlc.LoadGraphFile(*graphPath)
+		if err != nil {
+			fatalf("load graph: %v", err)
+		}
+		fmt.Printf("graph: %d vertices, %d edges, %d labels\n", g.NumVertices(), g.NumEdges(), g.NumLabels())
+		var ix *rlc.Index
+		if *indexPath != "" {
+			start := time.Now()
+			ix, err = rlc.LoadIndexFile(*indexPath, g)
+			if err != nil {
+				fatalf("load index: %v", err)
+			}
+			fmt.Printf("index loaded from %s in %v\n", *indexPath, time.Since(start).Round(time.Millisecond))
+		} else {
+			start := time.Now()
+			var st rlc.BuildStats
+			ix, st, err = rlc.BuildIndexWithStats(g, rlc.Options{K: *k, BuildWorkers: *buildWorkers})
+			if err != nil {
+				fatalf("build index: %v", err)
+			}
+			opts.BuildStats = &st
+			fmt.Printf("index built in %v (%d build workers)\n", time.Since(start).Round(time.Millisecond), st.Workers)
+		}
+		printIndexStats(ix)
+		srv = rlc.NewServer(ix, opts)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP = hot reload in snapshot mode (the classic daemon convention);
+	// ignored otherwise so a stray signal cannot kill a legacy-mode server.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *snapshotPath == "" {
+				fmt.Println("SIGHUP ignored: not serving a snapshot bundle")
+				continue
+			}
+			start := time.Now()
+			gen, err := srv.Reload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlcserve: reload failed, still serving the previous snapshot: %v\n", err)
+				continue
+			}
+			fmt.Printf("reloaded %s in %v (generation %d)\n", *snapshotPath, time.Since(start).Round(time.Microsecond), gen)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -115,7 +160,7 @@ func main() {
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	fmt.Printf("serving on %s (cache: %d entries; /query /batch /stats /healthz)\n", ln.Addr(), max(cacheEntries, 0))
+	fmt.Printf("serving on %s (cache: %d entries; /query /batch /reload /stats /healthz)\n", ln.Addr(), max(cacheEntries, 0))
 
 	select {
 	case err := <-done:
@@ -133,12 +178,35 @@ func main() {
 		fatalf("serve: %v", err)
 	}
 	cs := srv.CacheStats()
+	if err := srv.Close(); err != nil {
+		fatalf("close snapshot: %v", err)
+	}
 	fmt.Printf("shut down cleanly; cache: %d hits, %d misses, %d coalesced, %d evictions (%.1f%% hit rate)\n",
 		cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions, cs.HitRate()*100)
 }
 
+// openVerified opens a bundle and runs the full integrity pass — the only
+// way bytes become a serving generation in this process.
+func openVerified(path string) (*rlc.Snapshot, error) {
+	snap, err := rlc.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.Verify(); err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return snap, nil
+}
+
+func printIndexStats(ix *rlc.Index) {
+	st := ix.Stats()
+	fmt.Printf("index: k=%d, %d entries (%.2f MB), %d distinct MRs\n",
+		st.K, st.Entries, float64(st.SizeBytes)/(1024*1024), st.DistinctMRs)
+}
+
 func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcserve -graph FILE [flags]\n\nflags:\n", synopsis)
+	fmt.Fprintf(flag.CommandLine.Output(), "%s\n\nusage: rlcserve (-snapshot BUNDLE | -graph FILE) [flags]\n\nflags:\n", synopsis)
 	flag.PrintDefaults()
 }
 

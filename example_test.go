@@ -2,6 +2,8 @@ package rlc_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	rlc "github.com/g-rpqs/rlc-go"
 )
@@ -132,4 +134,34 @@ func ExampleDeltaGraph() {
 	after, _ := d.Query(0, 2, rlc.Seq{0, 1})
 	fmt.Println(before, after)
 	// Output: false true
+}
+
+// Snapshot bundles: freeze a built index (with its graph) into one
+// self-contained file, reopen it zero-copy, and query — the production
+// startup path of rlcserve -snapshot.
+func ExampleOpenSnapshot() {
+	g := rlc.ExampleFig2()
+	ix, err := rlc.BuildIndex(g, rlc.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	path := filepath.Join(os.TempDir(), "fig2_example.rlcs")
+	if err := rlc.SaveSnapshotFile(path, ix); err != nil {
+		panic(err)
+	}
+	defer os.Remove(path)
+
+	snap, err := rlc.OpenSnapshot(path)
+	if err != nil {
+		panic(err)
+	}
+	defer snap.Close()
+	if err := snap.Verify(); err != nil { // full checksum + fingerprint pass
+		panic(err)
+	}
+	v3, _ := snap.Graph().VertexByName("v3")
+	v6, _ := snap.Graph().VertexByName("v6")
+	ok, _ := snap.Index().Query(v3, v6, rlc.Seq{1, 0})
+	fmt.Println("self-contained:", snap.Fingerprint().M == g.NumEdges(), "answer:", ok)
+	// Output: self-contained: true answer: true
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -65,7 +66,7 @@ func RunServe(cfg Config) ([]*Table, error) {
 		for _, mode := range []server.Options{{CacheEntries: -1}, {}} {
 			srv := server.New(ix, mode)
 			for _, q := range pool {
-				got, _, err := srv.AnswerRLC(q.S, q.T, q.L)
+				got, _, err := srv.AnswerRLC(context.Background(), q.S, q.T, q.L)
 				if err != nil {
 					return nil, fmt.Errorf("serve: %s: %w", d.Name, err)
 				}
@@ -80,7 +81,7 @@ func RunServe(cfg Config) ([]*Table, error) {
 			start := time.Now()
 			for _, i := range requests {
 				q := pool[i]
-				if _, _, err := srv.AnswerRLC(q.S, q.T, q.L); err != nil {
+				if _, _, err := srv.AnswerRLC(context.Background(), q.S, q.T, q.L); err != nil {
 					return 0, err
 				}
 			}

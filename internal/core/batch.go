@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -73,9 +74,20 @@ func (sc *batchScratch) lookupMR(ix *Index, l labelseq.Seq) (labelseq.ID, error)
 
 // answerBatch evaluates queries[start:end] into the matching result slots.
 // Every slot in the range is fully overwritten, so QueryBatchInto can hand
-// in a dirty reused buffer without clearing it first.
-func (ix *Index) answerBatch(queries []BatchQuery, results []BatchResult, start, end int, sc *batchScratch) {
+// in a dirty reused buffer without clearing it first. The context is
+// consulted once per batchChunk queries; after cancellation the remaining
+// slots are filled with the context's error, so the positional contract
+// holds even for an abandoned batch.
+func (ix *Index) answerBatch(ctx context.Context, queries []BatchQuery, results []BatchResult, start, end int, sc *batchScratch) {
 	for i := start; i < end; i++ {
+		if (i-start)%batchChunk == 0 {
+			if err := ctx.Err(); err != nil {
+				for j := i; j < end; j++ {
+					results[j] = BatchResult{Err: err}
+				}
+				return
+			}
+		}
 		q := &queries[i]
 		if err := ix.checkVertices(q.S, q.T); err != nil {
 			results[i] = BatchResult{Err: err}
@@ -105,7 +117,15 @@ func (ix *Index) answerBatch(queries []BatchQuery, results []BatchResult, start,
 // the fan-out safe; QueryBatch may itself be called concurrently with
 // Query and other QueryBatch calls.
 func (ix *Index) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
-	return ix.QueryBatchInto(queries, workers, nil)
+	return ix.QueryBatchIntoCtx(context.Background(), queries, workers, nil)
+}
+
+// QueryBatchCtx is QueryBatch under a context: cancellation stops the
+// fan-out at the next chunk boundary, and every not-yet-answered slot comes
+// back with Err set to the context's error. Already-answered slots keep
+// their answers.
+func (ix *Index) QueryBatchCtx(ctx context.Context, queries []BatchQuery, workers int) []BatchResult {
+	return ix.QueryBatchIntoCtx(ctx, queries, workers, nil)
 }
 
 // QueryBatchInto is QueryBatch writing into a caller-provided result buffer,
@@ -113,6 +133,13 @@ func (ix *Index) QueryBatch(queries []BatchQuery, workers int) []BatchResult {
 // be used in its place. Servers answering a steady stream of batches reuse
 // one buffer per connection and allocate nothing at all per batch.
 func (ix *Index) QueryBatchInto(queries []BatchQuery, workers int, results []BatchResult) []BatchResult {
+	return ix.QueryBatchIntoCtx(context.Background(), queries, workers, results)
+}
+
+// QueryBatchIntoCtx is QueryBatchInto under a context — the form the HTTP
+// server's batch handler uses, so a client that disconnects mid-batch stops
+// burning workers at the next chunk boundary.
+func (ix *Index) QueryBatchIntoCtx(ctx context.Context, queries []BatchQuery, workers int, results []BatchResult) []BatchResult {
 	if cap(results) < len(queries) {
 		results = make([]BatchResult, len(queries))
 	} else {
@@ -127,10 +154,10 @@ func (ix *Index) QueryBatchInto(queries []BatchQuery, workers int, results []Bat
 		// allocation-free (the parallel path below boxes the closure
 		// captures, which is noise next to spawning goroutines).
 		var sc batchScratch
-		ix.answerBatch(queries, results, 0, len(queries), &sc)
+		ix.answerBatch(ctx, queries, results, 0, len(queries), &sc)
 		return results
 	}
-	ix.runBatchWorkers(queries, results, workers)
+	ix.runBatchWorkers(ctx, queries, results, workers)
 	return results
 }
 
@@ -153,7 +180,7 @@ func EffectiveBatchWorkers(numQueries, workers int) int {
 
 // runBatchWorkers fans queries out over a worker pool; each worker claims
 // fixed-size chunks off the shared cursor until the slice is drained.
-func (ix *Index) runBatchWorkers(queries []BatchQuery, results []BatchResult, workers int) {
+func (ix *Index) runBatchWorkers(ctx context.Context, queries []BatchQuery, results []BatchResult, workers int) {
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -170,7 +197,7 @@ func (ix *Index) runBatchWorkers(queries []BatchQuery, results []BatchResult, wo
 				if end > len(queries) {
 					end = len(queries)
 				}
-				ix.answerBatch(queries, results, start, end, &sc)
+				ix.answerBatch(ctx, queries, results, start, end, &sc)
 			}
 		}()
 	}

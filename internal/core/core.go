@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -242,6 +243,17 @@ func (ix *Index) Query(s, t graph.Vertex, l labelseq.Seq) (bool, error) {
 		return false, nil
 	}
 	return ix.queryByID(s, t, mr), nil
+}
+
+// QueryRLC is Query with a context, satisfying the facade's Querier
+// interface alongside the hybrid evaluator and the serving layer. An index
+// probe is two binary searches and a merge join — nanoseconds — so the
+// context is consulted once on entry, never mid-probe.
+func (ix *Index) QueryRLC(ctx context.Context, s, t graph.Vertex, l labelseq.Seq) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return ix.Query(s, t, l)
 }
 
 // QueryStar answers the Kleene-star variant (s, t, L*), which reduces to the

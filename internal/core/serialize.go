@@ -118,9 +118,14 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 	if k < 1 || k > MaxK {
 		return nil, fmt.Errorf("rlc: load: bad k %d", k)
 	}
+	// v1 files predate the graph fingerprint, so only the shape triple the
+	// format records can be verified here; the v2 snapshot bundle embeds the
+	// full fingerprint (including the edge hash) and is checked by
+	// Snapshot.Verify. Either way a wrong graph surfaces as the same typed
+	// ErrGraphMismatch.
 	if n != g.NumVertices() || labels != g.NumLabels() || edges != g.NumEdges() {
-		return nil, fmt.Errorf("rlc: load: index built for graph with %d vertices/%d labels/%d edges, supplied graph has %d/%d/%d",
-			n, labels, edges, g.NumVertices(), g.NumLabels(), g.NumEdges())
+		return nil, fmt.Errorf("rlc: load: %w: index built for graph with %d vertices/%d labels/%d edges, supplied graph has %d/%d/%d",
+			ErrGraphMismatch, n, labels, edges, g.NumVertices(), g.NumLabels(), g.NumEdges())
 	}
 
 	numLabels := labels

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/snapshot"
+)
+
+// Snapshot bundle (format v2): one self-contained, self-describing file
+// holding everything a server needs — the graph CSR, the index entry array
+// with its per-direction offsets, the access order, and the label-sequence
+// dictionary — as checksummed sections of the internal/snapshot container.
+// The large arrays are laid out so OpenSnapshot can hand out zero-copy
+// views of a read-only memory mapping; only the small sections (meta, dict,
+// names) are decoded onto the heap. See ARCHITECTURE.md, "Snapshot format
+// v2", for the full byte layout.
+//
+// Section ids:
+const (
+	secMeta        = 1  // fixed 56-byte header: shape, fingerprint, counts
+	secGraphOutOff = 2  // int64[n+1]
+	secGraphOutDst = 3  // int32[m]
+	secGraphOutLbl = 4  // int32[m]
+	secGraphInOff  = 5  // int64[n+1]
+	secGraphInSrc  = 6  // int32[m]
+	secGraphInLbl  = 7  // int32[m]
+	secDict        = 8  // per sequence: len u8, labels i32...
+	secOrder       = 9  // int32[n], rank -> vertex id
+	secEntries     = 10 // entry[entryCount]: (hub i32, mr u32)
+	secIndexOutOff = 11 // int32[n+1]
+	secIndexInOff  = 12 // int32[n+1]
+	secVertexNames = 13 // optional: count u32, then len u32 + bytes each
+	secLabelNames  = 14 // optional
+)
+
+// metaSize is the exact size of the meta section.
+const metaSize = 56
+
+// meta flag bits.
+const (
+	flagVertexNames = 1 << 0
+	flagLabelNames  = 1 << 1
+)
+
+// ErrGraphMismatch is returned when an index is bound to a graph other than
+// the one it was built from — by the v1 loader when the supplied graph's
+// shape differs from the one recorded at build time, and by snapshot
+// verification when the embedded fingerprint does not match the embedded
+// graph.
+var ErrGraphMismatch = errors.New("rlc: index was built for a different graph")
+
+// encodeMeta renders the fixed meta section.
+func encodeMeta(k int, fp graph.Fingerprint, entryCount int64, dictLen int, flags uint32) []byte {
+	le := binary.LittleEndian
+	b := make([]byte, metaSize)
+	le.PutUint32(b[0:], uint32(k))
+	le.PutUint32(b[4:], uint32(fp.NumLabels))
+	le.PutUint64(b[8:], uint64(fp.N))
+	le.PutUint64(b[16:], uint64(fp.M))
+	le.PutUint64(b[24:], fp.EdgeHash)
+	le.PutUint64(b[32:], uint64(entryCount))
+	le.PutUint32(b[40:], uint32(dictLen))
+	le.PutUint32(b[44:], flags)
+	// b[48:56] reserved, zero.
+	return b
+}
+
+type snapshotMeta struct {
+	k          int
+	fp         graph.Fingerprint
+	entryCount int64
+	dictLen    int
+	flags      uint32
+}
+
+func decodeMeta(b []byte) (snapshotMeta, error) {
+	if len(b) != metaSize {
+		return snapshotMeta{}, snapshot.Corruptf("meta section is %d bytes, want %d", len(b), metaSize)
+	}
+	le := binary.LittleEndian
+	m := snapshotMeta{
+		k: int(le.Uint32(b[0:])),
+		fp: graph.Fingerprint{
+			NumLabels: int(int32(le.Uint32(b[4:]))),
+			N:         int(int64(le.Uint64(b[8:]))),
+			M:         int(int64(le.Uint64(b[16:]))),
+			EdgeHash:  le.Uint64(b[24:]),
+		},
+		entryCount: int64(le.Uint64(b[32:])),
+		dictLen:    int(le.Uint32(b[40:])),
+		flags:      le.Uint32(b[44:]),
+	}
+	if m.k < 1 || m.k > MaxK {
+		return snapshotMeta{}, snapshot.Corruptf("bad k %d", m.k)
+	}
+	const maxI32 = 1<<31 - 1
+	if m.fp.N < 0 || m.fp.N > maxI32 || m.fp.M < 0 || m.fp.M > maxI32 ||
+		m.fp.NumLabels < 0 || m.fp.NumLabels > maxI32 {
+		return snapshotMeta{}, snapshot.Corruptf("implausible shape %v", m.fp)
+	}
+	if m.entryCount < 0 || m.entryCount > maxI32 {
+		return snapshotMeta{}, snapshot.Corruptf("implausible entry count %d", m.entryCount)
+	}
+	if m.dictLen < 0 || m.dictLen > maxI32 {
+		return snapshotMeta{}, snapshot.Corruptf("implausible dictionary size %d", m.dictLen)
+	}
+	return m, nil
+}
+
+// WriteSnapshot serializes the index and its graph as a v2 snapshot bundle.
+// Unlike the v1 Write format, the bundle is self-contained: OpenSnapshot
+// needs no separate graph file and no rebuild-time options.
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	g := ix.g
+	fp := g.Fingerprint()
+	var flags uint32
+	if g.VertexNames() != nil {
+		flags |= flagVertexNames
+	}
+	if g.LabelNames() != nil {
+		flags |= flagLabelNames
+	}
+
+	sw := snapshot.NewWriter()
+	sw.Add(secMeta, encodeMeta(ix.k, fp, int64(len(ix.entries)), ix.dict.Len(), flags))
+	csr := g.RawCSR()
+	sw.Add(secGraphOutOff, snapshot.I64Bytes(csr.OutOff))
+	sw.Add(secGraphOutDst, snapshot.I32Bytes(csr.OutDst))
+	sw.Add(secGraphOutLbl, snapshot.I32Bytes(csr.OutLbl))
+	sw.Add(secGraphInOff, snapshot.I64Bytes(csr.InOff))
+	sw.Add(secGraphInSrc, snapshot.I32Bytes(csr.InSrc))
+	sw.Add(secGraphInLbl, snapshot.I32Bytes(csr.InLbl))
+	sw.Add(secDict, encodeDict(ix.dict))
+	sw.Add(secOrder, snapshot.I32Bytes(ix.order))
+	sw.Add(secEntries, entryBytes(ix.entries))
+	sw.Add(secIndexOutOff, snapshot.I32Bytes(ix.outOff))
+	sw.Add(secIndexInOff, snapshot.I32Bytes(ix.inOff))
+	if flags&flagVertexNames != 0 {
+		sw.Add(secVertexNames, encodeNames(g.VertexNames()))
+	}
+	if flags&flagLabelNames != 0 {
+		sw.Add(secLabelNames, encodeNames(g.LabelNames()))
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := sw.WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveSnapshotFile writes the v2 snapshot bundle to path, atomically: the
+// bundle is rendered to a temporary file in the same directory and renamed
+// into place. Truncating a bundle in place would be catastrophic for a
+// server that has the old file memory-mapped (shrinking a mapped file turns
+// page faults into SIGBUS), so rebuild-and-rename — the rlcserve hot-reload
+// workflow — is the only write path offered.
+func (ix *Index) SaveSnapshotFile(path string) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := ix.WriteSnapshot(f); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp opens 0600; widen to the 0644 an os.Create'd artifact gets
+	// so a separately-privileged server process can map the bundle.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	// The rename only publishes the bytes; sync first so a crash cannot
+	// leave a successfully renamed but half-written bundle.
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Snapshot is an open v2 bundle: a graph and the index built over it,
+// backed by (usually memory-mapped) file bytes. The index and graph stay
+// valid until Close; Close invalidates them, so a serving layer must retire
+// a snapshot only after in-flight queries drain (see internal/server's
+// Store).
+type Snapshot struct {
+	f    *snapshot.File
+	ix   *Index
+	g    *graph.Graph
+	meta snapshotMeta
+	path string
+}
+
+// OpenSnapshot opens a v2 bundle file. The large sections are mapped
+// zero-copy where the platform allows (Mapped reports whether that
+// happened); open-time work is structural validation only — O(n + m) word
+// scans with no per-entry decoding or allocation — which is what makes
+// opening a multi-gigabyte bundle effectively instant compared to the v1
+// load path. Payload checksums are deliberately not verified here; call
+// Verify before trusting a bundle from an untrusted medium or before
+// hot-swapping it into a server.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	f, err := snapshot.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSnapshot(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s.path = path
+	return s, nil
+}
+
+// OpenSnapshotBytes opens a v2 bundle held in memory (an embedded build
+// artifact, a just-fetched blob). The Snapshot aliases data, which must stay
+// unchanged until Close.
+func OpenSnapshotBytes(data []byte) (*Snapshot, error) {
+	f, err := snapshot.OpenBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSnapshot(f)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// section fetches a required section and checks its exact byte length.
+func section(f *snapshot.File, id uint32, wantLen int64, what string) ([]byte, error) {
+	b, ok := f.Section(id)
+	if !ok {
+		return nil, snapshot.Corruptf("missing %s section (id %d)", what, id)
+	}
+	if int64(len(b)) != wantLen {
+		return nil, snapshot.Corruptf("%s section is %d bytes, want %d", what, len(b), wantLen)
+	}
+	return b, nil
+}
+
+func newSnapshot(f *snapshot.File) (*Snapshot, error) {
+	metaBytes, ok := f.Section(secMeta)
+	if !ok {
+		return nil, snapshot.Corruptf("missing meta section")
+	}
+	meta, err := decodeMeta(metaBytes)
+	if err != nil {
+		return nil, err
+	}
+	n, m := meta.fp.N, meta.fp.M
+
+	// Graph sections → zero-copy adopted CSR.
+	var csr graph.CSR
+	offLen := int64(n+1) * 8
+	edgeLen := int64(m) * 4
+	var outOffB, inOffB, outDstB, outLblB, inSrcB, inLblB []byte
+	for _, s := range []struct {
+		id      uint32
+		wantLen int64
+		dst     *[]byte
+		what    string
+	}{
+		{secGraphOutOff, offLen, &outOffB, "graph out-offset"},
+		{secGraphOutDst, edgeLen, &outDstB, "graph out-dst"},
+		{secGraphOutLbl, edgeLen, &outLblB, "graph out-label"},
+		{secGraphInOff, offLen, &inOffB, "graph in-offset"},
+		{secGraphInSrc, edgeLen, &inSrcB, "graph in-src"},
+		{secGraphInLbl, edgeLen, &inLblB, "graph in-label"},
+	} {
+		if *s.dst, err = section(f, s.id, s.wantLen, s.what); err != nil {
+			return nil, err
+		}
+	}
+	csr.OutOff = snapshot.I64s(outOffB)
+	csr.OutDst = snapshot.I32s[graph.Vertex](outDstB)
+	csr.OutLbl = snapshot.I32s[labelseq.Label](outLblB)
+	csr.InOff = snapshot.I64s(inOffB)
+	csr.InSrc = snapshot.I32s[graph.Vertex](inSrcB)
+	csr.InLbl = snapshot.I32s[labelseq.Label](inLblB)
+
+	var vnames, lnames []string
+	if meta.flags&flagVertexNames != 0 {
+		b, ok := f.Section(secVertexNames)
+		if !ok {
+			return nil, snapshot.Corruptf("missing vertex-name section")
+		}
+		if vnames, err = decodeNames(b, n, "vertex"); err != nil {
+			return nil, err
+		}
+	}
+	if meta.flags&flagLabelNames != 0 {
+		b, ok := f.Section(secLabelNames)
+		if !ok {
+			return nil, snapshot.Corruptf("missing label-name section")
+		}
+		if lnames, err = decodeNames(b, meta.fp.NumLabels, "label"); err != nil {
+			return nil, err
+		}
+	}
+
+	g, err := graph.AdoptCSR(n, meta.fp.NumLabels, csr, vnames, lnames)
+	if err != nil {
+		return nil, snapshot.Corruptf("%v", err)
+	}
+
+	// Dictionary (small, heap-decoded with the same validation as v1 load).
+	dictBytes, ok := f.Section(secDict)
+	if !ok {
+		return nil, snapshot.Corruptf("missing dictionary section")
+	}
+	dict, err := decodeDict(dictBytes, meta.dictLen, meta.fp.NumLabels, meta.k)
+	if err != nil {
+		return nil, err
+	}
+
+	// Access order: must be a permutation of [0, n); rank is its inverse.
+	orderB, err := section(f, secOrder, int64(n)*4, "order")
+	if err != nil {
+		return nil, err
+	}
+	order := snapshot.I32s[graph.Vertex](orderB)
+	rank := make([]int32, n)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || int(v) >= n {
+			return nil, snapshot.Corruptf("order[%d] = %d out of range [0, %d)", i, v, n)
+		}
+		if rank[v] != -1 {
+			return nil, snapshot.Corruptf("order lists vertex %d twice", v)
+		}
+		rank[v] = int32(i)
+	}
+
+	// Index CSR: two offset arrays over one entries array, Lout lists first.
+	ixOutB, err := section(f, secIndexOutOff, int64(n+1)*4, "index out-offset")
+	if err != nil {
+		return nil, err
+	}
+	ixInB, err := section(f, secIndexInOff, int64(n+1)*4, "index in-offset")
+	if err != nil {
+		return nil, err
+	}
+	entriesB, err := section(f, secEntries, meta.entryCount*8, "entry")
+	if err != nil {
+		return nil, err
+	}
+	outOff := snapshot.I32s[int32](ixOutB)
+	inOff := snapshot.I32s[int32](ixInB)
+	entries := entriesView(entriesB)
+	if outOff[0] != 0 || outOff[n] != inOff[0] || int64(inOff[n]) != meta.entryCount {
+		return nil, snapshot.Corruptf("index offsets span [%d..%d, %d..%d], want [0..x, x..%d]",
+			outOff[0], outOff[n], inOff[0], inOff[n], meta.entryCount)
+	}
+	for _, off := range [2][]int32{outOff, inOff} {
+		for v := 0; v < n; v++ {
+			if off[v] > off[v+1] {
+				return nil, snapshot.Corruptf("index offsets decrease at vertex %d", v)
+			}
+		}
+	}
+	// Every entry must reference a real rank and interned sequence, and each
+	// per-vertex list must be hub-sorted — the invariants the query path's
+	// binary search and merge join rely on. One linear pass over the lists.
+	for _, off := range [2][]int32{outOff, inOff} {
+		for v := 0; v < n; v++ {
+			prev := int32(-1)
+			for _, e := range entries[off[v]:off[v+1]] {
+				if e.hub < prev {
+					return nil, snapshot.Corruptf("entry list of vertex %d not hub-sorted", v)
+				}
+				prev = e.hub
+				if e.hub < 0 || int(e.hub) >= n || int64(e.mr) >= int64(meta.dictLen) {
+					return nil, snapshot.Corruptf("entry (%d, %d) of vertex %d out of range", e.hub, e.mr, v)
+				}
+			}
+		}
+	}
+
+	ix := &Index{
+		g:       g,
+		k:       meta.k,
+		opts:    Options{K: meta.k},
+		dict:    dict,
+		order:   order,
+		rank:    rank,
+		entries: entries,
+		outOff:  outOff,
+		inOff:   inOff,
+	}
+	return &Snapshot{f: f, ix: ix, g: g, meta: meta}, nil
+}
+
+// Index returns the snapshot's index, valid until Close.
+func (s *Snapshot) Index() *Index { return s.ix }
+
+// Graph returns the snapshot's embedded graph, valid until Close.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Path returns the file the snapshot was opened from ("" for OpenSnapshotBytes).
+func (s *Snapshot) Path() string { return s.path }
+
+// Mapped reports whether the snapshot is memory-mapped (as opposed to the
+// portable read-into-heap fallback).
+func (s *Snapshot) Mapped() bool { return s.f.Mapped() }
+
+// SizeBytes returns the byte size of the open bundle.
+func (s *Snapshot) SizeBytes() int64 { return s.f.Size() }
+
+// K returns the recursive k the snapshot's index supports.
+func (s *Snapshot) K() int { return s.meta.k }
+
+// Fingerprint returns the embedded graph fingerprint recorded at build time.
+func (s *Snapshot) Fingerprint() graph.Fingerprint { return s.meta.fp }
+
+// Sections lists the bundle's section table (the rlcinspect dump).
+func (s *Snapshot) Sections() []snapshot.SectionInfo { return s.f.Sections() }
+
+// VerifySection checks one section's payload checksum by container id.
+func (s *Snapshot) VerifySection(id uint32) error { return s.f.VerifySection(id) }
+
+// Verify runs the full integrity pass that OpenSnapshot skips: every
+// section's checksum, plus a recomputation of the embedded graph's
+// fingerprint against the one recorded in the meta section. Open-time
+// structural validation makes a corrupt bundle safe (queries cannot crash);
+// Verify makes it trustworthy (bit flips inside in-range values are caught
+// too). The serving layer runs it before hot-swapping a bundle in.
+func (s *Snapshot) Verify() error {
+	if err := s.f.VerifyAll(); err != nil {
+		return err
+	}
+	if got := s.g.Fingerprint(); got != s.meta.fp {
+		return fmt.Errorf("%w: %w: bundle records %v, embedded graph hashes to %v",
+			snapshot.ErrCorrupt, ErrGraphMismatch, s.meta.fp, got)
+	}
+	return nil
+}
+
+// Close releases the underlying mapping. The snapshot's Index and Graph
+// must not be used afterwards.
+func (s *Snapshot) Close() error {
+	s.ix = nil
+	s.g = nil
+	return s.f.Close()
+}
+
+// encodeDict renders the dictionary section: per interned sequence, a u8
+// length followed by that many little-endian i32 labels — the same
+// per-sequence encoding as the v1 format, minus the count (the meta section
+// carries it).
+func encodeDict(d *labelseq.Dict) []byte {
+	var out []byte
+	var tmp [4]byte
+	for i := 0; i < d.Len(); i++ {
+		seq := d.Seq(labelseq.ID(i))
+		out = append(out, byte(len(seq)))
+		for _, l := range seq {
+			binary.LittleEndian.PutUint32(tmp[:], uint32(l))
+			out = append(out, tmp[:]...)
+		}
+	}
+	return out
+}
+
+// decodeDict rebuilds the interning dictionary, enforcing the same
+// invariants as the v1 loader: lengths within k, labels within the label
+// set, no duplicate sequences, and no trailing bytes.
+func decodeDict(b []byte, dictLen, numLabels, k int) (*labelseq.Dict, error) {
+	coderLabels := numLabels
+	if coderLabels == 0 {
+		coderLabels = 1
+	}
+	dict, err := labelseq.NewDict(coderLabels, k)
+	if err != nil {
+		return nil, snapshot.Corruptf("dictionary: %v", err)
+	}
+	pos := 0
+	for i := 0; i < dictLen; i++ {
+		if pos >= len(b) {
+			return nil, snapshot.Corruptf("dictionary truncated at sequence %d", i)
+		}
+		slen := int(b[pos])
+		pos++
+		if slen > k {
+			return nil, snapshot.Corruptf("dictionary sequence %d longer than k", i)
+		}
+		if pos+4*slen > len(b) {
+			return nil, snapshot.Corruptf("dictionary truncated inside sequence %d", i)
+		}
+		seq := make(labelseq.Seq, slen)
+		for j := range seq {
+			l := int32(binary.LittleEndian.Uint32(b[pos:]))
+			pos += 4
+			if l < 0 || int(l) >= coderLabels {
+				return nil, snapshot.Corruptf("dictionary label %d out of range", l)
+			}
+			seq[j] = labelseq.Label(l)
+		}
+		if got := dict.Intern(seq); int(got) != i {
+			return nil, snapshot.Corruptf("duplicate dictionary sequence %v", seq)
+		}
+	}
+	if pos != len(b) {
+		return nil, snapshot.Corruptf("%d trailing bytes after the dictionary", len(b)-pos)
+	}
+	return dict, nil
+}
+
+// encodeNames renders a name table: count u32, then per name a u32 length
+// and the raw bytes.
+func encodeNames(names []string) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(names)))
+	out := append([]byte(nil), tmp[:]...)
+	for _, s := range names {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+		out = append(out, tmp[:]...)
+		out = append(out, s...)
+	}
+	return out
+}
+
+// decodeNames parses a name table, which must hold exactly want names.
+func decodeNames(b []byte, want int, what string) ([]string, error) {
+	if len(b) < 4 {
+		return nil, snapshot.Corruptf("%s-name section truncated", what)
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	if count != want {
+		return nil, snapshot.Corruptf("%d %s names for %d ids", count, what, want)
+	}
+	pos := 4
+	names := make([]string, count)
+	for i := range names {
+		if pos+4 > len(b) {
+			return nil, snapshot.Corruptf("%s-name section truncated at name %d", what, i)
+		}
+		l := int(binary.LittleEndian.Uint32(b[pos:]))
+		pos += 4
+		if l < 0 || pos+l > len(b) {
+			return nil, snapshot.Corruptf("%s name %d overruns the section", what, i)
+		}
+		names[i] = string(b[pos : pos+l])
+		pos += l
+	}
+	if pos != len(b) {
+		return nil, snapshot.Corruptf("%d trailing bytes after the %s names", len(b)-pos, what)
+	}
+	return names, nil
+}
+
+// entryBytes returns the little-endian on-disk bytes of an entry slice —
+// a zero-copy view on little-endian hosts. The entry struct is exactly its
+// on-disk layout: hub i32 then mr u32, 8 bytes, no padding.
+func entryBytes(s []entry) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if snapshot.HostLittleEndian() {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	out := make([]byte, len(s)*8)
+	for i, e := range s {
+		binary.LittleEndian.PutUint32(out[i*8:], uint32(e.hub))
+		binary.LittleEndian.PutUint32(out[i*8+4:], uint32(e.mr))
+	}
+	return out
+}
+
+// entriesView returns b as an entry slice — zero-copy when the host is
+// little-endian and the section is aligned, a decoded copy otherwise. The
+// caller must have checked len(b)%8 == 0.
+func entriesView(b []byte) []entry {
+	if len(b) == 0 {
+		return nil
+	}
+	if snapshot.HostLittleEndian() && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(entry{}) == 0 {
+		return unsafe.Slice((*entry)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]entry, len(b)/8)
+	for i := range out {
+		out[i] = entry{
+			hub: int32(binary.LittleEndian.Uint32(b[i*8:])),
+			mr:  labelseq.ID(binary.LittleEndian.Uint32(b[i*8+4:])),
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/gen"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// benchArtifacts is the shared fixture of the open-path benchmarks: one ER
+// index with >1e5 entries (the acceptance regime for the mmap-vs-v1
+// comparison), serialized both ways.
+var benchArtifacts struct {
+	once       sync.Once
+	g          *graph.Graph
+	v1         []byte // (*Index).Write format
+	bundlePath string // v2 snapshot bundle on disk
+	entries    int64
+}
+
+func openBenchArtifacts(b *testing.B) {
+	b.Helper()
+	a := &benchArtifacts
+	a.once.Do(func() {
+		g, err := gen.ER(10_000, 40_000, 4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := Build(g, Options{K: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.g = g
+		a.entries = ix.NumEntries()
+		var buf bytes.Buffer
+		if err := ix.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+		a.v1 = buf.Bytes()
+		dir, err := os.MkdirTemp("", "rlcbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.bundlePath = filepath.Join(dir, "er.rlcs")
+		if err := ix.SaveSnapshotFile(a.bundlePath); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if a.entries < 100_000 {
+		b.Fatalf("benchmark fixture has only %d entries; grow the ER graph", a.entries)
+	}
+}
+
+// BenchmarkOpenSnapshot measures the v2 open path: mmap + structural
+// validation, no per-entry decoding. Compare against BenchmarkLoadIndexV1
+// on the same index — the acceptance bar for the format is >=10x.
+func BenchmarkOpenSnapshot(b *testing.B) {
+	openBenchArtifacts(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := OpenSnapshot(benchArtifacts.bundlePath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Index().NumEntries() != benchArtifacts.entries {
+			b.Fatal("entry count drifted")
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkOpenSnapshotVerified adds the full checksum pass a server runs
+// before hot-swapping a bundle in.
+func BenchmarkOpenSnapshotVerified(b *testing.B) {
+	openBenchArtifacts(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := OpenSnapshot(benchArtifacts.bundlePath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkLoadIndexV1 measures the legacy load path: full deserialization
+// of every entry into per-vertex lists, then the CSR freeze.
+func BenchmarkLoadIndexV1(b *testing.B) {
+	openBenchArtifacts(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix, err := Load(bytes.NewReader(benchArtifacts.v1), benchArtifacts.g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.NumEntries() != benchArtifacts.entries {
+			b.Fatal("entry count drifted")
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/g-rpqs/rlc-go/internal/automaton"
@@ -28,6 +29,24 @@ func New(ix *core.Index) *Evaluator {
 // supports directly become one lookup; multi-segment expressions traverse
 // the leading segments online and answer the final segment from the index.
 func (h *Evaluator) Eval(s, t graph.Vertex, e automaton.Expr) (bool, error) {
+	return h.EvalCtx(context.Background(), s, t, e)
+}
+
+// QueryRLC answers the single-constraint query (s, t, l+), satisfying the
+// facade's Querier interface: the index answers when l is in its class, an
+// NFA-guided traversal otherwise.
+func (h *Evaluator) QueryRLC(ctx context.Context, s, t graph.Vertex, l labelseq.Seq) (bool, error) {
+	return h.EvalCtx(ctx, s, t, automaton.Plus(l))
+}
+
+// EvalCtx is Eval under a context. Cancellation is observed at segment
+// granularity: the context is consulted before each online segment
+// expansion (the unbounded-cost steps), not inside a single traversal, so a
+// cancelled multi-segment query stops before its next frontier expansion.
+func (h *Evaluator) EvalCtx(ctx context.Context, s, t graph.Vertex, e automaton.Expr) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if len(e.Segments) == 0 {
 		return false, fmt.Errorf("hybrid: empty expression")
 	}
@@ -56,6 +75,9 @@ func (h *Evaluator) Eval(s, t graph.Vertex, e automaton.Expr) (bool, error) {
 	// Expand all but the last two segments online into full closures.
 	frontier := []graph.Vertex{s}
 	for _, seg := range e.Segments[:len(e.Segments)-2] {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		nfa, err := automaton.NewPlus(seg.Labels, h.ix.Graph().NumLabels())
 		if err != nil {
 			return false, fmt.Errorf("hybrid: %w", err)
@@ -70,6 +92,9 @@ func (h *Evaluator) Eval(s, t graph.Vertex, e automaton.Expr) (bool, error) {
 	// against the precomputed target side of the final segment and exiting
 	// on the first hit — the "continuously check intermediately visited
 	// vertices" strategy of Section VI-C.
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	last := e.Segments[len(e.Segments)-1].Labels
 	penult := e.Segments[len(e.Segments)-2].Labels
 	nfa, err := automaton.NewPlus(penult, h.ix.Graph().NumLabels())

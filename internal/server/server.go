@@ -17,6 +17,7 @@ import (
 	"github.com/g-rpqs/rlc-go/internal/graph"
 	"github.com/g-rpqs/rlc-go/internal/hybrid"
 	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/snapshot"
 )
 
 // Default sizing for the zero-value Options.
@@ -40,8 +41,8 @@ type Options struct {
 	// rounded up to a power of two. Zero selects 2*GOMAXPROCS (rounded).
 	CacheShards int
 
-	// BatchWorkers is the worker count handed to Index.QueryBatchInto for
-	// POST /batch requests; 0 means GOMAXPROCS.
+	// BatchWorkers is the worker count handed to Index.QueryBatchIntoCtx
+	// for POST /batch requests; 0 means GOMAXPROCS.
 	BatchWorkers int
 
 	// MaxBatch caps the number of queries accepted in one POST /batch
@@ -49,8 +50,16 @@ type Options struct {
 	MaxBatch int
 
 	// BuildStats, when non-nil, is reported verbatim under "build" in
-	// /stats — wire it up when the index was built on startup.
+	// /stats — wire it up when the index was built on startup. It describes
+	// the initial generation only; reloaded snapshots carry no build stats.
 	BuildStats *core.BuildStats
+
+	// SnapshotSource, when non-nil, produces the replacement snapshot for
+	// POST /reload and Server.Reload — typically by re-opening (and
+	// verifying) the bundle path the server was started from, which is
+	// exactly what rlcserve wires here. When nil, reloading is disabled
+	// and POST /reload answers 501.
+	SnapshotSource func() (*core.Snapshot, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -83,31 +92,32 @@ func nextPow2(v int) int {
 	return p
 }
 
-// Server answers RLC reachability queries over HTTP, fronting an immutable
-// Index with a sharded LRU result cache. One Server may serve any number of
-// concurrent connections; all state behind the handlers is either immutable
-// (graph, index), sharded under short critical sections (cache), or pooled
-// (hybrid evaluators).
+// Server answers RLC reachability queries over HTTP. All serving state —
+// index, graph, result cache, hybrid-evaluator pool — lives in a Store
+// generation that every request pins for its own lifetime, so the served
+// snapshot can be hot-swapped (SIGHUP / POST /reload in rlcserve) with zero
+// downtime: in-flight queries finish against the generation they started
+// on, new queries see the new one, and the old bundle's mapping is released
+// only after the last straggler drains.
 type Server struct {
-	ix    *core.Index
-	g     *graph.Graph
+	store *Store
 	opts  Options
-	cache *cache // nil when disabled
 	start time.Time
 
-	// hybrids pools hybrid evaluators: they carry per-traversal scratch
-	// sized by the graph and are not safe for concurrent use.
-	hybrids sync.Pool
+	// reloadMu serializes Reload calls so two concurrent reloads cannot
+	// interleave open-then-swap and leak a snapshot.
+	reloadMu sync.Mutex
 
 	// batchBufs pools []core.BatchResult buffers so a steady stream of
-	// POST /batch requests goes through QueryBatchInto without allocating
-	// a result slice per request.
+	// POST /batch requests goes through QueryBatchIntoCtx without
+	// allocating a result slice per request.
 	batchBufs sync.Pool
 
 	mQuery   histogram
 	mBatch   histogram
 	mStats   histogram
 	mHealthz histogram
+	mReload  histogram
 
 	// hs is created eagerly so a Shutdown that races ahead of Serve still
 	// marks the server closed (Serve then returns http.ErrServerClosed,
@@ -115,33 +125,62 @@ type Server struct {
 	hs *http.Server
 }
 
-// New returns a Server over ix.
+// New returns a Server over a heap-built index.
 func New(ix *core.Index, opts Options) *Server {
-	opts = opts.withDefaults()
+	return newServer(NewStore(ix, opts), opts)
+}
+
+// NewFromSnapshot returns a Server over an open snapshot bundle, taking
+// ownership of it: the bundle is closed when it is swapped out by a reload
+// or when the server is Closed.
+func NewFromSnapshot(snap *core.Snapshot, opts Options) *Server {
+	return newServer(NewStoreFromSnapshot(snap, opts), opts)
+}
+
+func newServer(store *Store, opts Options) *Server {
 	s := &Server{
-		ix:    ix,
-		g:     ix.Graph(),
-		opts:  opts,
+		store: store,
+		opts:  opts.withDefaults(),
 		start: time.Now(),
 	}
-	if opts.CacheEntries > 0 {
-		s.cache = newCache(opts.CacheEntries, opts.CacheShards)
-	}
-	s.hybrids.New = func() any { return hybrid.New(ix) }
 	s.hs = &http.Server{Handler: s.Handler()}
 	return s
+}
+
+// Store exposes the server's generation store — the hot-swap surface used
+// by embedding programs and tests.
+func (s *Server) Store() *Store { return s.store }
+
+// Reload obtains a fresh snapshot from Options.SnapshotSource and swaps it
+// in, returning the new generation. In-flight queries keep the old
+// generation until they finish; a failed source leaves the server on its
+// current generation.
+func (s *Server) Reload() (uint64, error) {
+	if s.opts.SnapshotSource == nil {
+		return 0, errors.New("server: no snapshot source configured; start from a bundle to enable reloads")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	snap, err := s.opts.SnapshotSource()
+	if err != nil {
+		return 0, fmt.Errorf("server: reload: %w", err)
+	}
+	s.store.SwapSnapshot(snap)
+	return s.store.Generation(), nil
 }
 
 // Handler returns the HTTP handler serving all endpoints:
 //
 //	GET  /query?s=&t=&l=   one query; l is an expression ("(l0 l1)+", "a+ b+")
 //	POST /batch            {"queries":[{"s":0,"t":4,"l":"l0 l1"},...]}
+//	POST /reload           hot-swap the serving snapshot (when configured)
 //	GET  /stats            cache, latency, index and build statistics
 //	GET  /healthz          liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", s.timed(&s.mQuery, s.handleQuery))
 	mux.HandleFunc("POST /batch", s.timed(&s.mBatch, s.handleBatch))
+	mux.HandleFunc("POST /reload", s.timed(&s.mReload, s.handleReload))
 	mux.HandleFunc("GET /stats", s.timed(&s.mStats, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.timed(&s.mHealthz, s.handleHealthz))
 	return mux
@@ -164,19 +203,36 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown stops accepting new connections and waits for in-flight requests
 // to complete, like net/http.Server.Shutdown. Calling it before Serve marks
-// the server closed, so a later Serve returns http.ErrServerClosed.
+// the server closed, so a later Serve returns http.ErrServerClosed. It does
+// not release the serving snapshot; call Close once no more queries will
+// arrive.
 func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
-// CacheStats snapshots the result-cache counters (the zero value when the
-// cache is disabled).
+// Close retires the serving generation and releases its backing snapshot
+// (once in-flight queries drain). Queries after Close fail; call it after
+// Shutdown.
+func (s *Server) Close() error {
+	return s.store.Close()
+}
+
+// CacheStats snapshots the current generation's result-cache counters (the
+// zero value when the cache is disabled or the server is closed).
 func (s *Server) CacheStats() CacheStats {
-	if s.cache == nil {
+	st := s.store.acquire()
+	if st == nil {
 		return CacheStats{}
 	}
-	return s.cache.stats()
+	defer st.release()
+	if st.cache == nil {
+		return CacheStats{}
+	}
+	return st.cache.stats()
 }
+
+// errServerClosed is returned to queries arriving after Close.
+var errServerClosed = errors.New("server: closed")
 
 // AnswerRLC answers one (s, t, L+) query through the serving path — cache,
 // singleflight, then index (or the traversal fallback when L is outside the
@@ -184,31 +240,53 @@ func (s *Server) CacheStats() CacheStats {
 // bench "serve" experiment uses it to measure the serving layer itself
 // rather than the HTTP stack; a cache hit costs one packed-key probe and no
 // allocation.
-func (s *Server) AnswerRLC(src, dst graph.Vertex, l labelseq.Seq) (reachable, cached bool, err error) {
-	compute := func() (bool, error) { return s.computeSeq(src, dst, l) }
-	if s.cache == nil {
-		reachable, err = compute()
+func (s *Server) AnswerRLC(ctx context.Context, src, dst graph.Vertex, l labelseq.Seq) (reachable, cached bool, err error) {
+	st := s.store.acquire()
+	if st == nil {
+		return false, false, errServerClosed
+	}
+	defer st.release()
+	return st.answerRLC(ctx, src, dst, l)
+}
+
+// QueryRLC answers one (s, t, L+) query through the serving path,
+// satisfying the facade's Querier interface.
+func (s *Server) QueryRLC(ctx context.Context, src, dst graph.Vertex, l labelseq.Seq) (bool, error) {
+	ok, _, err := s.AnswerRLC(ctx, src, dst, l)
+	return ok, err
+}
+
+// answerRLC is AnswerRLC against one pinned generation.
+func (st *state) answerRLC(ctx context.Context, src, dst graph.Vertex, l labelseq.Seq) (reachable, cached bool, err error) {
+	if st.cache == nil {
+		reachable, err = st.computeSeq(ctx, src, dst, l)
 		return reachable, false, err
 	}
-	return s.cache.do(s.seqKey(src, dst, l), compute)
+	// A flight's result is broadcast to every coalesced waiter, so the
+	// leader must not abort on its own client's disconnect — that would
+	// fail healthy waiters with a spurious "canceled". Compute detached;
+	// the answer also warms the cache for the next request.
+	dctx := context.WithoutCancel(ctx)
+	compute := func() (bool, error) { return st.computeSeq(dctx, src, dst, l) }
+	return st.cache.do(st.seqKey(src, dst, l), compute)
 }
 
 // computeSeq answers (src, dst, l+) on a cache miss: Index.Query when the
 // constraint is in the index's class, the pooled hybrid evaluator (which
 // falls back to NFA-guided traversal) otherwise.
-func (s *Server) computeSeq(src, dst graph.Vertex, l labelseq.Seq) (bool, error) {
-	if len(l) > 0 && len(l) <= s.ix.K() && labelseq.IsPrimitive(l) {
-		return s.ix.Query(src, dst, l)
+func (st *state) computeSeq(ctx context.Context, src, dst graph.Vertex, l labelseq.Seq) (bool, error) {
+	if len(l) > 0 && len(l) <= st.ix.K() && labelseq.IsPrimitive(l) {
+		return st.ix.QueryRLC(ctx, src, dst, l)
 	}
-	h := s.hybrids.Get().(*hybrid.Evaluator)
-	defer s.hybrids.Put(h)
-	return h.Eval(src, dst, automaton.Plus(l))
+	h := st.hybrids.Get().(*hybrid.Evaluator)
+	defer st.hybrids.Put(h)
+	return h.EvalCtx(ctx, src, dst, automaton.Plus(l))
 }
 
 // seqKey builds the cache key of a single-L+ query: the packed sequence code
 // when it fits, the canonical expression text otherwise.
-func (s *Server) seqKey(src, dst graph.Vertex, l labelseq.Seq) cacheKey {
-	if code, ok := s.packSeq(l); ok {
+func (st *state) seqKey(src, dst graph.Vertex, l labelseq.Seq) cacheKey {
+	if code, ok := st.packSeq(l); ok {
 		return cacheKey{s: int32(src), t: int32(dst), code: code}
 	}
 	return cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(automaton.Plus(l))}
@@ -217,8 +295,8 @@ func (s *Server) seqKey(src, dst graph.Vertex, l labelseq.Seq) cacheKey {
 // packSeq packs l into the base-(numLabels+1) code cacheKey uses, refusing
 // sequences that overflow 63 bits or carry out-of-range labels (both are
 // answered — and rejected — downstream; they just can't use the packed key).
-func (s *Server) packSeq(l labelseq.Seq) (uint64, bool) {
-	base := uint64(s.g.NumLabels() + 1)
+func (st *state) packSeq(l labelseq.Seq) (uint64, bool) {
+	base := uint64(st.g.NumLabels() + 1)
 	var code uint64
 	for _, lb := range l {
 		if lb < 0 || uint64(lb+1) >= base || code > (1<<63)/base {
@@ -233,21 +311,26 @@ func (s *Server) packSeq(l labelseq.Seq) (uint64, bool) {
 // plus-segment expressions take the packed-key path; multi-segment
 // expressions are keyed by canonical text and computed by a pooled hybrid
 // evaluator.
-func (s *Server) answerExpr(src, dst graph.Vertex, e automaton.Expr) (reachable, cached bool, err error) {
+func (st *state) answerExpr(ctx context.Context, src, dst graph.Vertex, e automaton.Expr) (reachable, cached bool, err error) {
 	if len(e.Segments) == 1 && e.Segments[0].Plus {
-		return s.AnswerRLC(src, dst, e.Segments[0].Labels)
+		return st.answerRLC(ctx, src, dst, e.Segments[0].Labels)
 	}
-	compute := func() (bool, error) {
-		h := s.hybrids.Get().(*hybrid.Evaluator)
-		defer s.hybrids.Put(h)
-		return h.Eval(src, dst, e)
-	}
-	if s.cache == nil {
-		reachable, err = compute()
+	if st.cache == nil {
+		h := st.hybrids.Get().(*hybrid.Evaluator)
+		defer st.hybrids.Put(h)
+		reachable, err = h.EvalCtx(ctx, src, dst, e)
 		return reachable, false, err
 	}
+	// Detached for the same reason as answerRLC: coalesced waiters share
+	// the leader's result.
+	dctx := context.WithoutCancel(ctx)
+	compute := func() (bool, error) {
+		h := st.hybrids.Get().(*hybrid.Evaluator)
+		defer st.hybrids.Put(h)
+		return h.EvalCtx(dctx, src, dst, e)
+	}
 	key := cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(e)}
-	return s.cache.do(key, compute)
+	return st.cache.do(key, compute)
 }
 
 // canonicalExpr renders a parsed expression so that every spelling of the
@@ -262,8 +345,8 @@ func canonicalExpr(e automaton.Expr) string {
 // plus one serving-layer convenience: an expression with no '+' anywhere
 // ("l0 l1") is read as the single RLC constraint (l0 l1)+, so query URLs
 // don't need to escape parentheses for the common case.
-func (s *Server) parseExpr(text string) (automaton.Expr, error) {
-	e, err := automaton.ParseForGraph(text, s.g)
+func (st *state) parseExpr(text string) (automaton.Expr, error) {
+	e, err := automaton.ParseForGraph(text, st.g)
 	if err != nil {
 		return automaton.Expr{}, err
 	}
@@ -280,15 +363,17 @@ func (s *Server) parseExpr(text string) (automaton.Expr, error) {
 }
 
 // vertex resolves a vertex token: a numeric id first (O(1), the hot case for
-// programmatic clients), then a display-name scan.
-func (s *Server) vertex(tok string) (graph.Vertex, error) {
+// programmatic clients), then a display-name scan. Range violations wrap
+// the same typed sentinel Index.Query uses, so HTTP clients see one stable
+// error code for them.
+func (st *state) vertex(tok string) (graph.Vertex, error) {
 	if id, err := strconv.Atoi(tok); err == nil {
-		if id < 0 || id >= s.g.NumVertices() {
-			return 0, fmt.Errorf("vertex %d out of range [0, %d)", id, s.g.NumVertices())
+		if id < 0 || id >= st.g.NumVertices() {
+			return 0, fmt.Errorf("%w: vertex %d out of range [0, %d)", core.ErrVertexRange, id, st.g.NumVertices())
 		}
 		return graph.Vertex(id), nil
 	}
-	if v, ok := s.g.VertexByName(tok); ok {
+	if v, ok := st.g.VertexByName(tok); ok {
 		return v, nil
 	}
 	return 0, fmt.Errorf("unknown vertex %q", tok)
@@ -314,28 +399,33 @@ type queryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) bool {
+	st := s.store.acquire()
+	if st == nil {
+		return writeError(w, http.StatusServiceUnavailable, "server closed")
+	}
+	defer st.release()
 	q := r.URL.Query()
 	sTok, tTok, lTok := q.Get("s"), q.Get("t"), q.Get("l")
 	if sTok == "" || tTok == "" || lTok == "" {
 		return writeError(w, http.StatusBadRequest, "missing parameter: s, t, and l are all required")
 	}
-	src, err := s.vertex(sTok)
+	src, err := st.vertex(sTok)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, "s: %v", err)
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("s: %w", err))
 	}
-	dst, err := s.vertex(tTok)
+	dst, err := st.vertex(tTok)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, "t: %v", err)
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("t: %w", err))
 	}
-	e, err := s.parseExpr(lTok)
+	e, err := st.parseExpr(lTok)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, "l: %v", err)
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("l: %w", err))
 	}
 
 	start := time.Now()
-	reachable, cached, err := s.answerExpr(src, dst, e)
+	reachable, cached, err := st.answerExpr(r.Context(), src, dst, e)
 	if err != nil {
-		return writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return writeErr(w, http.StatusUnprocessableEntity, err)
 	}
 	return writeJSON(w, http.StatusOK, queryResponse{
 		S:         sTok,
@@ -381,11 +471,13 @@ func (v *vertexToken) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// batchQueryResult is one slot of the POST /batch reply; Error is set (and
-// Reachable false) when that query failed validation.
+// batchQueryResult is one slot of the POST /batch reply; Error (and its
+// machine-readable Code) is set — and Reachable false — when that query
+// failed validation.
 type batchQueryResult struct {
 	Reachable bool   `json:"reachable"`
 	Error     string `json:"error,omitempty"`
+	Code      string `json:"code,omitempty"`
 }
 
 type batchResponse struct {
@@ -396,6 +488,11 @@ type batchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
+	st := s.store.acquire()
+	if st == nil {
+		return writeError(w, http.StatusServiceUnavailable, "server closed")
+	}
+	defer st.release()
 	var req batchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -431,14 +528,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
 		pending []core.BatchQuery
 	)
 	for i, in := range req.Queries {
-		src, dst, l, err := s.resolveBatchQuery(in)
+		src, dst, l, err := st.resolveBatchQuery(in)
 		if err != nil {
-			resp.Results[i] = batchQueryResult{Error: err.Error()}
+			resp.Results[i] = batchQueryResult{Error: err.Error(), Code: errorCode(err)}
 			continue
 		}
-		key := s.seqKey(src, dst, l)
-		if s.cache != nil {
-			if val, ok := s.cache.get(key); ok {
+		key := st.seqKey(src, dst, l)
+		if st.cache != nil {
+			if val, ok := st.cache.get(key); ok {
 				resp.Results[i] = batchQueryResult{Reachable: val}
 				resp.Cached++
 				continue
@@ -453,16 +550,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
 		if bufp == nil {
 			bufp = new([]core.BatchResult)
 		}
-		*bufp = s.ix.QueryBatchInto(pending, workers, *bufp)
+		*bufp = st.ix.QueryBatchIntoCtx(r.Context(), pending, workers, *bufp)
 		for j, res := range *bufp {
 			m := misses[j]
 			if res.Err != nil {
-				resp.Results[m.pos] = batchQueryResult{Error: res.Err.Error()}
+				resp.Results[m.pos] = batchQueryResult{Error: res.Err.Error(), Code: errorCode(res.Err)}
 				continue
 			}
 			resp.Results[m.pos] = batchQueryResult{Reachable: res.Reachable}
-			if s.cache != nil {
-				s.cache.put(m.key, res.Reachable)
+			if st.cache != nil {
+				st.cache.put(m.key, res.Reachable)
 			}
 		}
 		s.batchBufs.Put(bufp)
@@ -473,16 +570,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
 
 // resolveBatchQuery validates one batch input into index-level terms. The
 // constraint must parse to a single plus segment — the QueryBatch class.
-func (s *Server) resolveBatchQuery(in batchQueryInput) (graph.Vertex, graph.Vertex, labelseq.Seq, error) {
-	src, err := s.vertex(string(in.S))
+func (st *state) resolveBatchQuery(in batchQueryInput) (graph.Vertex, graph.Vertex, labelseq.Seq, error) {
+	src, err := st.vertex(string(in.S))
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("s: %w", err)
 	}
-	dst, err := s.vertex(string(in.T))
+	dst, err := st.vertex(string(in.T))
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("t: %w", err)
 	}
-	e, err := s.parseExpr(in.L)
+	e, err := st.parseExpr(in.L)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("l: %w", err)
 	}
@@ -492,9 +589,41 @@ func (s *Server) resolveBatchQuery(in batchQueryInput) (graph.Vertex, graph.Vert
 	return src, dst, e.Segments[0].Labels, nil
 }
 
+// reloadResponse is the POST /reload reply.
+type reloadResponse struct {
+	Generation uint64  `json:"generation"`
+	Source     string  `json:"source"`
+	Micros     float64 `json:"micros"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) bool {
+	if s.opts.SnapshotSource == nil {
+		return writeError(w, http.StatusNotImplemented,
+			"reload not configured: start the server from a snapshot bundle")
+	}
+	start := time.Now()
+	gen, err := s.Reload()
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, err)
+	}
+	st := s.store.acquire()
+	source := ""
+	if st != nil {
+		source = st.source
+		st.release()
+	}
+	return writeJSON(w, http.StatusOK, reloadResponse{
+		Generation: gen,
+		Source:     source,
+		Micros:     float64(time.Since(start).Nanoseconds()) / 1e3,
+	})
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Generation    uint64                   `json:"generation"`
+	Source        string                   `json:"source"`
 	Index         core.Stats               `json:"index"`
 	Build         *core.BuildStats         `json:"build,omitempty"`
 	Cache         *CacheStats              `json:"cache,omitempty"`
@@ -502,20 +631,28 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
+	st := s.store.acquire()
+	if st == nil {
+		return writeError(w, http.StatusServiceUnavailable, "server closed")
+	}
+	defer st.release()
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Index:         s.ix.Stats(),
-		Build:         s.opts.BuildStats,
+		Generation:    st.gen,
+		Source:        st.source,
+		Index:         st.ix.Stats(),
+		Build:         st.build,
 		Endpoints: map[string]EndpointStats{
 			"query":   s.mQuery.snapshot(),
 			"batch":   s.mBatch.snapshot(),
+			"reload":  s.mReload.snapshot(),
 			"stats":   s.mStats.snapshot(),
 			"healthz": s.mHealthz.snapshot(),
 		},
 	}
-	if s.cache != nil {
-		st := s.cache.stats()
-		resp.Cache = &st
+	if st.cache != nil {
+		cst := st.cache.stats()
+		resp.Cache = &cst
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -529,10 +666,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable classification derived from the typed
+	// sentinel the failure wraps ("" when the error carries no sentinel).
+	Code string `json:"code,omitempty"`
 }
 
-// writeError reports a request failure; the bool return (always false) lets
-// handlers `return writeError(...)` and feed the endpoint error counter.
+// errorCode maps an error chain onto its stable wire code via the typed
+// sentinels the facade exports; clients switch on these instead of parsing
+// message text.
+func errorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrVertexRange):
+		return "vertex_range"
+	case errors.Is(err, core.ErrGraphMismatch):
+		return "graph_mismatch"
+	case errors.Is(err, snapshot.ErrCorrupt):
+		return "corrupt_snapshot"
+	case errors.Is(err, core.ErrNotMinimumRepeat):
+		return "not_minimum_repeat"
+	case errors.Is(err, core.ErrConstraintTooLong):
+		return "constraint_too_long"
+	case errors.Is(err, core.ErrUnknownLabel):
+		return "unknown_label"
+	case errors.Is(err, core.ErrEmptyConstraint):
+		return "empty_constraint"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return ""
+	}
+}
+
+// writeErr reports a request failure carrying a real error: the message is
+// the error text and the code its typed classification.
+func writeErr(w http.ResponseWriter, status int, err error) bool {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: errorCode(err)})
+	return false
+}
+
+// writeError reports a request failure with a plain message; the bool
+// return (always false) lets handlers `return writeError(...)` and feed the
+// endpoint error counter.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) bool {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 	return false

@@ -126,7 +126,9 @@ func TestQueryMultiSegment(t *testing.T) {
 	h := hybrid.New(ix)
 
 	expr := "l1+ l2+"
-	parsed, err := New(ix, Options{}).parseExpr(expr)
+	st := New(ix, Options{}).store.acquire()
+	parsed, err := st.parseExpr(expr)
+	st.release()
 	if err != nil {
 		t.Fatalf("parse %q: %v", expr, err)
 	}
@@ -294,8 +296,8 @@ func TestBatchGoldenResponse(t *testing.T) {
 		`{"reachable":true},` +
 		`{"reachable":true},` +
 		`{"reachable":false},` +
-		`{"error":"rlc: query constraint is not a minimum repeat (L != MR(L)); the even-path fragment is out of scope: (l0,l0)","reachable":false},` +
-		`{"error":"t: vertex 99 out of range [0, 6)","reachable":false},` +
+		`{"code":"not_minimum_repeat","error":"rlc: query constraint is not a minimum repeat (L != MR(L)); the even-path fragment is out of scope: (l0,l0)","reachable":false},` +
+		`{"code":"vertex_range","error":"t: rlc: vertex id out of range: vertex 99 out of range [0, 6)","reachable":false},` +
 		`{"error":"l: batch queries need a single L+ segment; use GET /query for multi-segment expressions","reachable":false}]}`
 	// The warm pass answers all three valid queries from the cache.
 	goldenWarm := strings.Replace(goldenCold, `"cached":0`, `"cached":3`, 1)

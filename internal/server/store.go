@@ -1,0 +1,207 @@
+package server
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/hybrid"
+)
+
+// state is one immutable serving generation: an index, its graph, the
+// per-generation result cache and hybrid-evaluator pool, and — when the
+// generation came from a snapshot bundle — the mapping that backs it all.
+// Everything that must change together on a hot reload lives here, so a
+// query pins one coherent generation for its whole lifetime and can never
+// observe a new index through an old cache (or vice versa).
+type state struct {
+	ix     *core.Index
+	g      *graph.Graph
+	src    io.Closer // backing snapshot to retire with the state; nil for heap-built indexes
+	cache  *cache    // nil when disabled
+	build  *core.BuildStats
+	gen    uint64
+	source string // human-readable origin for /stats
+
+	// hybrids pools hybrid evaluators: they carry per-traversal scratch
+	// sized by the graph and are not safe for concurrent use.
+	hybrids sync.Pool
+
+	// refs is the RCU reference count: one reference is held by the Store
+	// while the state is current, plus one per in-flight query. The backing
+	// snapshot is closed only when the state has been retired AND the count
+	// reaches zero — i.e. after the last in-flight query drains.
+	refs      atomic.Int64
+	retired   atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (st *state) release() {
+	if st.refs.Add(-1) == 0 && st.retired.Load() {
+		st.close()
+	}
+}
+
+func (st *state) close() {
+	st.closeOnce.Do(func() {
+		if st.src != nil {
+			st.closeErr = st.src.Close()
+		}
+	})
+}
+
+// Store holds the currently served state and swaps it atomically — the
+// RCU-style hot-reload primitive behind rlcserve's SIGHUP / POST /reload.
+// Readers pin a generation with acquire and never block writers; Swap
+// publishes a new generation with one atomic pointer store and retires the
+// old one only after its in-flight readers drain. Queries therefore never
+// error, block, or see a torn index during a swap.
+type Store struct {
+	opts   Options // sizing for per-generation caches
+	cur    atomic.Pointer[state]
+	mu     sync.Mutex // serializes swaps
+	gen    uint64     // last generation handed out; guarded by mu
+	closed bool       // guarded by mu; a closed store stays closed
+}
+
+// NewStore returns a store serving ix (a heap-built index, generation 1).
+func NewStore(ix *core.Index, opts Options) *Store {
+	s := &Store{opts: opts.withDefaults()}
+	s.install(s.newState(ix, nil, opts.BuildStats, "built in-process"))
+	return s
+}
+
+// NewStoreFromSnapshot returns a store serving an open snapshot bundle.
+// The store takes ownership: the snapshot is closed when its generation is
+// retired (by a later Swap) or by Close.
+func NewStoreFromSnapshot(snap *core.Snapshot, opts Options) *Store {
+	s := &Store{opts: opts.withDefaults()}
+	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap)))
+	return s
+}
+
+func snapshotSource(snap *core.Snapshot) string {
+	if p := snap.Path(); p != "" {
+		return "snapshot " + p
+	}
+	return "snapshot (in-memory)"
+}
+
+// newState assembles a generation around ix with a fresh cache and hybrid
+// pool. A fresh cache is not an optimization detail: results cached against
+// the old index may be wrong for the new one, so cache lifetime is bounded
+// by generation lifetime.
+func (s *Store) newState(ix *core.Index, src io.Closer, build *core.BuildStats, source string) *state {
+	st := &state{
+		ix:     ix,
+		g:      ix.Graph(),
+		src:    src,
+		build:  build,
+		source: source,
+	}
+	if s.opts.CacheEntries > 0 {
+		st.cache = newCache(s.opts.CacheEntries, s.opts.CacheShards)
+	}
+	st.hybrids.New = func() any { return hybrid.New(ix) }
+	st.refs.Store(1) // the Store's own reference while current
+	return st
+}
+
+// install publishes st as the next generation and retires the previous
+// one. A swap that races with (or follows) Close does not resurrect the
+// store: the incoming state is retired on the spot instead — its backing
+// snapshot closes immediately — and the store stays closed.
+func (s *Store) install(st *state) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		st.retired.Store(true)
+		st.release()
+		return
+	}
+	s.gen++
+	st.gen = s.gen
+	old := s.cur.Swap(st)
+	s.mu.Unlock()
+	if old != nil {
+		old.retired.Store(true)
+		old.release() // drop the Store's reference; closes once readers drain
+	}
+}
+
+// acquire pins the current generation for one query. The post-increment
+// re-check closes the swap race: if the state was swapped out between the
+// load and the increment, the reference is dropped and the load retried, so
+// a pinned state is always safe to read until release — its backing mapping
+// cannot be unmapped while the pin is held. Returns nil after Close.
+func (s *Store) acquire() *state {
+	for {
+		st := s.cur.Load()
+		if st == nil {
+			return nil
+		}
+		st.refs.Add(1)
+		if s.cur.Load() == st {
+			return st
+		}
+		st.release()
+	}
+}
+
+// SwapIndex atomically replaces the served index with a heap-built one.
+func (s *Store) SwapIndex(ix *core.Index) {
+	s.install(s.newState(ix, nil, nil, "built in-process"))
+}
+
+// SwapSnapshot atomically replaces the served generation with an open
+// snapshot bundle, taking ownership of it. The previous generation's
+// backing snapshot (if any) is closed only after its last in-flight query
+// finishes. Callers should Verify the snapshot before handing it over —
+// the swap itself is deliberately unconditional, so policy stays with the
+// caller (rlcserve verifies; a trusted pipeline may skip it).
+func (s *Store) SwapSnapshot(snap *core.Snapshot) {
+	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap)))
+}
+
+// Index returns the currently served index without pinning it — for
+// inspection and tests. Queries must go through acquire/release instead.
+func (s *Store) Index() *core.Index {
+	if st := s.cur.Load(); st != nil {
+		return st.ix
+	}
+	return nil
+}
+
+// Generation returns the monotonically increasing generation counter of
+// the current state (1 for the initial state, +1 per swap), 0 after Close.
+func (s *Store) Generation() uint64 {
+	if st := s.cur.Load(); st != nil {
+		return st.gen
+	}
+	return 0
+}
+
+// Close retires the current generation; subsequent acquires fail and
+// further queries are rejected. If no query is in flight the backing
+// snapshot is closed before Close returns (and its error reported);
+// otherwise the last draining query closes it asynchronously.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	old := s.cur.Swap(nil)
+	s.mu.Unlock()
+	if old == nil {
+		return nil
+	}
+	old.retired.Store(true)
+	// Inline release so the close-and-report path runs only when this call
+	// observed the count hit zero — reading closeErr is then race-free.
+	if old.refs.Add(-1) == 0 {
+		old.close()
+		return old.closeErr
+	}
+	return nil
+}

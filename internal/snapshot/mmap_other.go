@@ -1,0 +1,15 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("snapshot: memory mapping not supported on this platform")
+
+// mmap always fails here; Open falls back to reading the file into the heap.
+func mmap(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

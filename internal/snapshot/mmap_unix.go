@@ -1,0 +1,23 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps size bytes of f read-only and shared, so concurrent processes
+// serving the same bundle share one set of physical pages.
+func mmap(f *os.File, size int) ([]byte, func() error, error) {
+	if size == 0 {
+		// Zero-length mappings are an error on most unixes; a zero-byte
+		// file fails header validation anyway, so hand back an empty slice.
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

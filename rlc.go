@@ -55,6 +55,27 @@
 // Rebuilds of a DeltaGraph inherit the same option through
 // DeltaOptions.IndexOptions.
 //
+// # Snapshot bundles
+//
+// A built index freezes into a snapshot bundle: one self-contained file
+// (graph CSR + index entries + label dictionary as checksummed sections)
+// that OpenSnapshot memory-maps zero-copy — startup does structural
+// validation only, no deserialization, so opening is orders of magnitude
+// faster than LoadIndex and the mapping is shared between processes
+// serving the same bundle:
+//
+//	rlc.SaveSnapshotFile("g.rlcs", ix)         // or: rlcbuild -o g.rlcs
+//	snap, err := rlc.OpenSnapshot("g.rlcs")    // mmap, O(1) in the payload
+//	if err := snap.Verify(); err != nil { ... } // full checksum pass
+//	ok, err := snap.Index().Query(0, 2, rlc.Seq{0, 1})
+//	defer snap.Close()
+//
+// Corrupt or truncated bundles fail with errors wrapping
+// ErrCorruptSnapshot — never a panic — and the embedded graph fingerprint
+// makes binding an index to the wrong graph (ErrGraphMismatch) impossible.
+// The legacy two-file format (LoadIndex + a separate graph file) remains
+// fully supported for existing artifacts.
+//
 // # Serving
 //
 // NewServer wraps an index in a long-running HTTP/JSON query service with a
@@ -68,8 +89,18 @@
 //	...
 //	srv.Shutdown(ctx)
 //
-// See GET /query, POST /batch, GET /stats, and GET /healthz on the returned
-// server's Handler.
+// See GET /query, POST /batch, POST /reload, GET /stats, and GET /healthz
+// on the returned server's Handler.
+//
+// NewServerFromSnapshot serves an open bundle instead, and the server's
+// Store hot-swaps a replacement bundle with zero downtime (rlcserve wires
+// this to SIGHUP and POST /reload): each in-flight query pins the
+// generation it started on, new queries see the new snapshot immediately,
+// and the old mapping is released only after its last reader drains.
+//
+// The Querier interface (QueryRLC) is the common read surface of *Index,
+// *HybridEvaluator, and *Server, so read-only code can swap layers freely;
+// context.Context runs through it, QueryBatchCtx, and every server handler.
 //
 // The package also ships the paper's baselines (NFA-guided BFS and BiBFS,
 // the extended transitive closure), three mainstream-engine comparators,
@@ -80,6 +111,7 @@
 package rlc
 
 import (
+	"context"
 	"io"
 
 	"github.com/g-rpqs/rlc-go/internal/automaton"
@@ -92,6 +124,7 @@ import (
 	"github.com/g-rpqs/rlc-go/internal/labelseq"
 	"github.com/g-rpqs/rlc-go/internal/plain"
 	"github.com/g-rpqs/rlc-go/internal/server"
+	"github.com/g-rpqs/rlc-go/internal/snapshot"
 	"github.com/g-rpqs/rlc-go/internal/traversal"
 	"github.com/g-rpqs/rlc-go/internal/workload"
 )
@@ -139,13 +172,43 @@ type (
 	Segment = automaton.Segment
 )
 
-// Errors re-exported from the index implementation.
+// Errors re-exported from the index implementation. The serving layer maps
+// each sentinel to a stable machine-readable "code" field in HTTP error
+// responses, so clients classify failures with errors.Is locally and by
+// code over the wire.
 var (
 	ErrNotMinimumRepeat  = core.ErrNotMinimumRepeat
 	ErrConstraintTooLong = core.ErrConstraintTooLong
 	ErrUnknownLabel      = core.ErrUnknownLabel
 	ErrVertexRange       = core.ErrVertexRange
 	ErrEmptyConstraint   = core.ErrEmptyConstraint
+
+	// ErrCorruptSnapshot wraps every failure that means snapshot-bundle
+	// bytes are not a well-formed v2 bundle: bad magic, truncation,
+	// checksum mismatches, structural violations.
+	ErrCorruptSnapshot = snapshot.ErrCorrupt
+	// ErrGraphMismatch reports an index bound to a graph other than the
+	// one it was built from (v1 shape check, snapshot fingerprint check).
+	ErrGraphMismatch = core.ErrGraphMismatch
+)
+
+// Querier answers single RLC reachability queries (s, t, L+) under a
+// context. It is the read interface shared by every query-answering layer
+// of the module: the raw index (*Index), the hybrid evaluator
+// (*HybridEvaluator, which also accepts constraints outside the index's
+// class), and the serving path (*Server, which adds the result cache and
+// hot-swappable snapshots). Code that only reads — handlers, background
+// checkers, tests — should accept a Querier and stay agnostic about which
+// layer backs it.
+type Querier interface {
+	QueryRLC(ctx context.Context, s, t Vertex, l Seq) (bool, error)
+}
+
+// Every query-answering layer satisfies Querier.
+var (
+	_ Querier = (*Index)(nil)
+	_ Querier = (*HybridEvaluator)(nil)
+	_ Querier = (*Server)(nil)
 )
 
 // DefaultK is the recursive k used when Options.K is zero.
@@ -209,11 +272,43 @@ func BuildIndexWithStats(g *Graph, opts Options) (*Index, BuildStats, error) {
 }
 
 // LoadIndex deserializes an index written with (*Index).Write, binding it
-// to g.
+// to g. Loading against a graph whose shape differs from the build-time one
+// fails with ErrGraphMismatch. (The legacy v1 format records only the shape
+// triple; snapshot bundles embed the full fingerprint including an edge
+// hash and need no external graph at all.)
 func LoadIndex(r io.Reader, g *Graph) (*Index, error) { return core.Load(r, g) }
 
 // LoadIndexFile reads an index file and binds it to g.
 func LoadIndexFile(path string, g *Graph) (*Index, error) { return core.LoadFile(path, g) }
+
+// Snapshot is an open v2 snapshot bundle: one self-contained,
+// checksum-sectioned file holding a graph and the index built over it,
+// memory-mapped zero-copy where the platform allows. Snapshot.Index and
+// Snapshot.Graph stay valid until Close; Verify runs the full integrity
+// pass (section checksums + graph-fingerprint recomputation) that Open
+// skips to keep opening O(1) in the payload.
+type Snapshot = core.Snapshot
+
+// Fingerprint identifies the graph an index was built from: shape plus an
+// edge-content hash. Embedded in snapshot bundles; compare with
+// Graph.Fingerprint.
+type Fingerprint = graph.Fingerprint
+
+// OpenSnapshot opens a v2 snapshot bundle file written with WriteSnapshot
+// or `rlcbuild -o`: mmap + structural validation, no deserialization — the
+// production startup path (rlcserve -snapshot). Corruption anywhere
+// surfaces as an error wrapping ErrCorruptSnapshot, never a panic.
+func OpenSnapshot(path string) (*Snapshot, error) { return core.OpenSnapshot(path) }
+
+// OpenSnapshotBytes opens a bundle held in memory (an embedded artifact, a
+// fetched blob). The Snapshot aliases data until Close.
+func OpenSnapshotBytes(data []byte) (*Snapshot, error) { return core.OpenSnapshotBytes(data) }
+
+// WriteSnapshot serializes ix and its graph as a self-contained v2 bundle.
+func WriteSnapshot(w io.Writer, ix *Index) error { return ix.WriteSnapshot(w) }
+
+// SaveSnapshotFile writes the v2 bundle of ix to path.
+func SaveSnapshotFile(path string, ix *Index) error { return ix.SaveSnapshotFile(path) }
 
 // EffectiveBatchWorkers reports how many workers Index.QueryBatch actually
 // runs for a batch of numQueries when workers are requested (<= 0 meaning
@@ -351,6 +446,12 @@ type (
 	// EndpointStats is the /stats rendering of one endpoint's latency
 	// histogram.
 	EndpointStats = server.EndpointStats
+	// Store is the server's RCU-style generation store: it pins the
+	// currently served snapshot for each in-flight query and swaps in
+	// replacements atomically, retiring the old snapshot only after its
+	// last reader drains — the zero-downtime hot-reload primitive behind
+	// rlcserve's SIGHUP and POST /reload.
+	Store = server.Store
 )
 
 // DefaultCacheEntries is the server's result-cache capacity when
@@ -358,8 +459,17 @@ type (
 const DefaultCacheEntries = server.DefaultCacheEntries
 
 // NewServer returns an HTTP query server over ix. Start it with
-// ListenAndServe or mount its Handler; stop it with Shutdown.
+// ListenAndServe or mount its Handler; stop it with Shutdown (and Close to
+// release the serving generation).
 func NewServer(ix *Index, opts ServerOptions) *Server { return server.New(ix, opts) }
+
+// NewServerFromSnapshot returns an HTTP query server over an open snapshot
+// bundle, taking ownership of it: the bundle is retired when a reload swaps
+// it out, or by Close. Set ServerOptions.SnapshotSource to enable
+// POST /reload hot swaps.
+func NewServerFromSnapshot(snap *Snapshot, opts ServerOptions) *Server {
+	return server.NewFromSnapshot(snap, opts)
+}
 
 // ExampleFig1 returns the paper's Figure 1 social/financial network.
 func ExampleFig1() *Graph { return graph.Fig1() }
