@@ -5,6 +5,7 @@
 //	rlcbench -exp table4 -scale 0.01       # larger replicas
 //	rlcbench -exp fig3 -datasets AD,TW,WN  # subset of datasets
 //	rlcbench -exp table5 -out results/     # write markdown files
+//	rlcbench -exp serve -json BENCH.json   # machine-readable report (scripts/bench.sh)
 //
 // Scale guidance: the default (-scale 0.004, cap 20000 vertices) finishes
 // in minutes on a laptop. The paper's absolute numbers used graphs up to
@@ -28,7 +29,7 @@ const synopsis = "rlcbench — reproduce the paper's experimental tables and fig
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table3..5, fig3..7, ablation, batch, pbuild, serve) or \"all\"")
+		exp      = flag.String("exp", "all", "experiment id (table3..5, fig3..7, ablation, batch, pbuild, serve, ingest) or \"all\"")
 		scale    = flag.Float64("scale", 0, "dataset replica scale (0 = default)")
 		maxV     = flag.Int("max-vertices", 0, "replica vertex cap (0 = default)")
 		queries  = flag.Int("queries", 0, "queries per true/false set (0 = default)")
@@ -38,6 +39,7 @@ func main() {
 		out      = flag.String("out", "", "directory for markdown output (empty = stdout only)")
 		etcLimit = flag.Duration("etc-limit", 0, "ETC construction budget (0 = default)")
 		bworkers = flag.String("buildworkers", "", "comma-separated worker ladder for the pbuild experiment (empty = 1,2,4)")
+		jsonOut  = flag.String("json", "", "write a machine-readable JSON report of the whole run to this file")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Usage = usage
@@ -91,6 +93,7 @@ func main() {
 		}
 	}
 
+	report := bench.NewReport()
 	for _, e := range exps {
 		fmt.Fprintf(os.Stderr, "=== %s: %s\n", e.ID, e.Title)
 		start := time.Now()
@@ -98,7 +101,9 @@ func main() {
 		if err != nil {
 			fatalf("%s: %v", e.ID, err)
 		}
-		fmt.Fprintf(os.Stderr, "=== %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "=== %s finished in %v\n", e.ID, elapsed.Round(time.Millisecond))
+		report.Add(e, tables, elapsed)
 		for _, t := range tables {
 			fmt.Println()
 			if err := t.Render(os.Stdout); err != nil {
@@ -111,6 +116,12 @@ func main() {
 				}
 			}
 		}
+	}
+	if *jsonOut != "" {
+		if err := report.WriteFile(*jsonOut); err != nil {
+			fatalf("write %s: %v", *jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "JSON report written to %s\n", *jsonOut)
 	}
 }
 

@@ -24,6 +24,23 @@
 // in-flight queries finish on the generation they started on; the old
 // mapping is released once they drain. Rebuild with `rlcbuild -o`, rename
 // into place, signal, done.
+//
+// With -mutable the server also takes writes:
+//
+//	rlcserve -graph g.graph -mutable -rebuild-threshold 1024 -rebuild-out g.rlcs
+//	curl -X POST localhost:8080/update -d '{"s":0,"l":"l1","t":4}'
+//	curl -X POST localhost:8080/update -d '{"edges":[{"s":1,"l":0,"t":2},{"s":2,"l":1,"t":3}]}'
+//	curl -X POST localhost:8080/rebuild      # fold now (SIGUSR1 folds in background)
+//
+// Inserts append to a journal every query consults exactly — answers flip
+// as soon as the update returns, no downtime, queries never block. When
+// the journal passes -rebuild-threshold the server folds base + journal in
+// the background, rebuilds the index with the deterministic parallel
+// builder, writes a fresh v2 bundle to -rebuild-out (when set), and
+// hot-swaps the new epoch in while writes continue. /stats and /healthz
+// report the epoch and journal length. Deletions are rejected
+// (deletions_unsupported); mutable servers also refuse POST /reload —
+// their state evolves through folds.
 package main
 
 import (
@@ -56,6 +73,9 @@ func main() {
 		workers      = flag.Int("workers", 0, "batch-query worker goroutines (0 = GOMAXPROCS)")
 		maxBatch     = flag.Int("max-batch", 0, "largest accepted POST /batch request (0 = default)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		mutable      = flag.Bool("mutable", false, "accept edge inserts via POST /update, with background fold-and-rebuild epochs")
+		rebuildThr   = flag.Int("rebuild-threshold", 0, "journal length that triggers a background fold (0 = default, negative = manual folds only)")
+		rebuildOut   = flag.String("rebuild-out", "", "write each fold's v2 bundle here and serve it memory-mapped (empty = heap)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -77,11 +97,30 @@ func main() {
 	if cacheEntries == 0 {
 		cacheEntries = -1
 	}
+	if !*mutable && (*rebuildThr != 0 || *rebuildOut != "") {
+		fatalf("-rebuild-threshold and -rebuild-out require -mutable")
+	}
 	opts := rlc.ServerOptions{
-		CacheEntries: cacheEntries,
-		CacheShards:  *cacheShards,
-		BatchWorkers: *workers,
-		MaxBatch:     *maxBatch,
+		CacheEntries:     cacheEntries,
+		CacheShards:      *cacheShards,
+		BatchWorkers:     *workers,
+		MaxBatch:         *maxBatch,
+		Mutable:          *mutable,
+		RebuildThreshold: *rebuildThr,
+		RebuildPath:      *rebuildOut,
+		RebuildWorkers:   *buildWorkers,
+	}
+	opts.OnRebuild = func(r rlc.RebuildResult) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "rlcserve: fold failed, still serving the previous epoch: %v\n", r.Err)
+			return
+		}
+		where := "in-process"
+		if r.Path != "" {
+			where = r.Path
+		}
+		fmt.Printf("folded %d edges into epoch %d (%s, generation %d, %d carried over) in %v\n",
+			r.Folded, r.Epoch, where, r.Generation, r.Journal, r.Duration.Round(time.Millisecond))
 	}
 
 	var srv *rlc.Server
@@ -101,7 +140,11 @@ func main() {
 		g := snap.Graph()
 		fmt.Printf("graph: %d vertices, %d edges, %d labels\n", g.NumVertices(), g.NumEdges(), g.NumLabels())
 		printIndexStats(snap.Index())
-		opts.SnapshotSource = func() (*rlc.Snapshot, error) { return openVerified(*snapshotPath) }
+		if !*mutable {
+			// Mutable servers evolve through folds; reloading an external
+			// bundle would drop journal edges, so the source stays unset.
+			opts.SnapshotSource = func() (*rlc.Snapshot, error) { return openVerified(*snapshotPath) }
+		}
 		srv = rlc.NewServerFromSnapshot(snap, opts)
 	} else {
 		g, err := rlc.LoadGraphFile(*graphPath)
@@ -136,10 +179,15 @@ func main() {
 
 	// SIGHUP = hot reload in snapshot mode (the classic daemon convention);
 	// ignored otherwise so a stray signal cannot kill a legacy-mode server.
+	// SIGUSR1 = background fold-and-rebuild in mutable mode.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
+			if *mutable {
+				fmt.Println("SIGHUP ignored: mutable servers fold instead of reloading (SIGUSR1 / POST /rebuild)")
+				continue
+			}
 			if *snapshotPath == "" {
 				fmt.Println("SIGHUP ignored: not serving a snapshot bundle")
 				continue
@@ -153,6 +201,21 @@ func main() {
 			fmt.Printf("reloaded %s in %v (generation %d)\n", *snapshotPath, time.Since(start).Round(time.Microsecond), gen)
 		}
 	}()
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			if !*mutable {
+				fmt.Println("SIGUSR1 ignored: server is not mutable")
+				continue
+			}
+			if srv.TriggerRebuild() {
+				fmt.Println("SIGUSR1: background fold-and-rebuild started")
+			} else {
+				fmt.Println("SIGUSR1 ignored: a fold is already running")
+			}
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -160,7 +223,11 @@ func main() {
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	fmt.Printf("serving on %s (cache: %d entries; /query /batch /reload /stats /healthz)\n", ln.Addr(), max(cacheEntries, 0))
+	endpoints := "/query /batch /reload /stats /healthz"
+	if *mutable {
+		endpoints = "/query /batch /update /rebuild /stats /healthz"
+	}
+	fmt.Printf("serving on %s (cache: %d entries; %s)\n", ln.Addr(), max(cacheEntries, 0), endpoints)
 
 	select {
 	case err := <-done:

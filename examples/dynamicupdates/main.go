@@ -1,7 +1,9 @@
 // Dynamic updates: the paper's index is built for a static graph; this
 // example shows the repository's insert-only extension. A fraud-screening
-// index keeps answering exactly as new transactions stream in, and folds
-// the journal into a rebuilt index once it grows past a threshold.
+// index keeps answering exactly as new transactions stream in, and a
+// BACKGROUND fold-and-rebuild absorbs the journal into a fresh epoch once
+// it grows past a threshold — queries never block on (or perform) the
+// rebuild.
 //
 //	go run ./examples/dynamicupdates
 package main
@@ -9,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	rlc "github.com/g-rpqs/rlc-go"
 )
@@ -27,6 +30,10 @@ func main() {
 	d, err := rlc.BuildDeltaGraph(g, rlc.DeltaOptions{
 		IndexOptions:     rlc.Options{K: 2},
 		RebuildThreshold: 4,
+		OnFold: func(st rlc.FoldStats) {
+			fmt.Printf("  [background fold: epoch %d, %d edges folded in %v]\n",
+				st.Epoch, st.Folded, st.Duration.Round(time.Millisecond))
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -37,7 +44,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-28s (0 ⇝ 4 via (debits credits)+) = %-5v  journal=%d\n", when, ok, d.JournalLen())
+		fmt.Printf("%-28s (0 ⇝ 4 via (debits credits)+) = %-5v  journal=%d epoch=%d\n", when, ok, d.JournalLen(), d.Epoch())
 	}
 
 	check("initial graph")
@@ -54,8 +61,10 @@ func main() {
 	}
 	check("after 2 insertions") // now true: the full chain exists
 
-	// More inserts push the journal past the threshold: the next query
-	// folds everything into a fresh index.
+	// More inserts push the journal past the threshold: the insert that
+	// crosses it triggers a fold on a background goroutine while queries
+	// keep answering. Quiesce only waits here so the printed journal
+	// length is deterministic — a server would never need to.
 	fmt.Println("\nmore transactions until the rebuild threshold (4) is hit ...")
 	if err := d.AddEdge(4, debits, 5); err != nil {
 		log.Fatal(err)
@@ -63,7 +72,8 @@ func main() {
 	if err := d.AddEdge(5, credits, 0); err != nil {
 		log.Fatal(err)
 	}
-	check("after threshold crossing") // journal folded: 0
+	d.Quiesce()
+	check("after background fold") // journal folded: 0, epoch 1
 
 	// The rebuilt index now also knows the cycle closed by 5-credits->0.
 	ok, err := d.Query(0, 0, pattern)

@@ -123,13 +123,15 @@ func (c Config) progressf(format string, args ...any) {
 	fmt.Fprintf(c.Progress, format+"\n", args...)
 }
 
-// Table is one rendered result table.
+// Table is one rendered result table. The JSON tags are the machine-
+// readable schema `rlcbench -json` (and scripts/bench.sh's BENCH_*.json
+// trajectory files) emit.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // Markdown renders the table as GitHub-flavored markdown.
@@ -212,6 +214,7 @@ func Experiments() []Experiment {
 		{ID: "batch", Title: "Concurrent batch-query throughput (extension)", Run: RunBatch},
 		{ID: "pbuild", Title: "Parallel index construction (extension)", Run: RunPBuild},
 		{ID: "serve", Title: "Cached vs uncached query serving (extension)", Run: RunServe},
+		{ID: "ingest", Title: "Mixed read/write serving with epoch rebuilds (extension)", Run: RunIngest},
 	}
 }
 

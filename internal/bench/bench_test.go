@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -31,8 +33,8 @@ func microConfig() Config {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(exps))
 	}
 	for _, e := range exps {
 		got, err := ByID(e.ID)
@@ -189,5 +191,48 @@ func TestRunPBuildMicro(t *testing.T) {
 		if row[len(row)-1] != "true" {
 			t.Errorf("pbuild row %v reports a non-identical parallel build", row)
 		}
+	}
+}
+
+func TestRunIngestMicro(t *testing.T) {
+	tables, err := RunIngest(microConfig())
+	checkTables(t, tables, err, 2) // AD and TW rows
+	if len(tables) != 1 {
+		t.Fatalf("ingest should produce one table, got %d", len(tables))
+	}
+	// The exactness gates inside RunIngest are the real assertions; here we
+	// pin that the run folded at least once (at micro scale a single
+	// background fold can swallow the whole stream before the explicit
+	// final fold gets a turn).
+	for _, row := range tables[0].Rows {
+		var epochs int
+		if _, err := fmt.Sscanf(row[6], "%d", &epochs); err != nil || epochs < 1 {
+			t.Errorf("ingest row %v: expected >= 1 fold epoch, got %q", row, row[6])
+		}
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	r := NewReport()
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	r.Add(Experiment{ID: "x", Title: "demo"}, []*Table{tab}, 2*time.Second)
+	path := t.TempDir() + "/r.json"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].ID != "x" ||
+		back.Experiments[0].Seconds != 2 || back.GOMAXPROCS < 1 {
+		t.Fatalf("round-tripped report: %+v", back)
+	}
+	if len(back.Experiments[0].Tables) != 1 || back.Experiments[0].Tables[0].Rows[0][0] != "1" {
+		t.Fatalf("table lost in round trip: %+v", back.Experiments[0].Tables)
 	}
 }

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable rendering of one rlcbench run — what
+// `rlcbench -json <file>` writes and scripts/bench.sh commits as
+// BENCH_<experiment>.json, so the perf trajectory is diffable across PRs.
+type Report struct {
+	// Generated is the RFC 3339 wall time of the run.
+	Generated string `json:"generated"`
+	// GoVersion and the processor fields pin the environment the numbers
+	// came from; absolute comparisons across machines are meaningless
+	// without them.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Note carries environment caveats (set automatically for single-CPU
+	// hosts, where parallel speedups are unobservable and background folds
+	// share the serving core).
+	Note string `json:"note,omitempty"`
+	// Experiments lists each experiment run, in execution order.
+	Experiments []ReportExperiment `json:"experiments"`
+}
+
+// ReportExperiment is one experiment's results within a Report.
+type ReportExperiment struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Seconds float64  `json:"seconds"`
+	Tables  []*Table `json:"tables"`
+}
+
+// NewReport stamps a report with the current environment.
+func NewReport() *Report {
+	r := &Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if r.NumCPU == 1 {
+		r.Note = "single-CPU host: parallel-build and concurrent-serving numbers measure scheduler overhead, not speedup; project multi-core performance from the measured parallel fraction (commit phase ~5% of build time => ~2x at 4 cores)"
+	}
+	return r
+}
+
+// Add records one experiment's tables and wall time.
+func (r *Report) Add(e Experiment, tables []*Table, elapsed time.Duration) {
+	r.Experiments = append(r.Experiments, ReportExperiment{
+		ID:      e.ID,
+		Title:   e.Title,
+		Seconds: elapsed.Seconds(),
+		Tables:  tables,
+	})
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -15,12 +15,32 @@
 //     into a traversed prefix (which may use new edges) and an indexed
 //     suffix, and true answers return as soon as the prefix is found.
 //
+// # Concurrency: the epoch pipeline
+//
+// A DeltaGraph is an RCU-style epoch structure. All state a reader touches
+// lives in one immutable view — base graph, base index, a frozen journal
+// prefix, a copy-on-write union adjacency for the sealed part of the
+// journal, and a probe cache — published through a single atomic pointer.
+// Any number of goroutines Query without taking a lock while one writer
+// appends: inserts extend the shared journal only at positions no published
+// view can read, seal full segments into a fresh adjacency map (shared
+// per-vertex slices are copied, never extended in place), and publish a
+// successor view. The whole structure is -race-clean by construction.
+//
 // Amortization: when the journal grows past RebuildThreshold edges, the
-// next query folds the journal into the base and rebuilds the index. The
-// rebuild honors Options.IndexOptions.BuildWorkers, so fold-and-rebuild
-// runs on the parallel construction path by default (BuildWorkers zero
-// means GOMAXPROCS) — and, because the parallel build is deterministic,
-// the rebuilt index is identical to a sequential rebuild's. Deletions are
+// insert that crossed the line triggers a BACKGROUND fold — never the query
+// path, and never inline on the inserting caller beyond a compare-and-swap.
+// The folder materializes the union, rebuilds the index (honoring
+// Options.IndexOptions.BuildWorkers; the parallel build is deterministic,
+// so the rebuilt index is byte-identical to a sequential rebuild's), and
+// installs the next epoch with any concurrently inserted edges carried
+// over. Queries pinned to the old epoch keep answering exactly against the
+// same edge set throughout; Rebuild folds synchronously and Quiesce waits
+// for an in-flight background fold.
+//
+// The serving layer (internal/server) drives the same epoch machinery
+// itself — FoldInput, JournalTail, NewWithJournal — because its folds also
+// write v2 snapshot bundles and hot-swap server generations. Deletions are
 // not supported (they can invalidate arbitrary entries); delete-heavy
 // workloads should rebuild, exactly as the paper's static setting implies.
 package dynamic

@@ -1,8 +1,12 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/g-rpqs/rlc-go/internal/core"
 	"github.com/g-rpqs/rlc-go/internal/graph"
@@ -10,39 +14,81 @@ import (
 )
 
 // DefaultRebuildThreshold is the journal size that triggers an automatic
-// fold-and-rebuild.
+// background fold-and-rebuild.
 const DefaultRebuildThreshold = 1024
+
+// segmentSize is how many journal edges accumulate before the writer seals
+// them into the copy-on-write adjacency map. Readers scan at most one
+// unsealed segment linearly per visited vertex, so the constant bounds the
+// per-vertex overhead of the delta search while keeping the per-insert
+// sealing cost amortized O(1).
+const segmentSize = 32
 
 // ErrDeletionsUnsupported is returned by RemoveEdge.
 var ErrDeletionsUnsupported = errors.New("dynamic: edge deletions require a rebuild; the RLC index is insert-only incremental")
 
+// FoldStats describes one completed fold-and-rebuild.
+type FoldStats struct {
+	// Epoch is the epoch the fold produced (first fold: 1).
+	Epoch uint64
+	// Folded is the number of journal edges folded into the new base.
+	Folded int
+	// Journal is the number of un-folded edges carried into the new epoch
+	// (edges inserted while the rebuild ran).
+	Journal int
+	// Duration is the wall time of the fold, including the index build.
+	Duration time.Duration
+	// Err is non-nil when the rebuild failed; the previous epoch keeps
+	// serving and the journal keeps growing.
+	Err error
+}
+
 // Options configures a DeltaGraph.
 type Options struct {
-	// RebuildThreshold is the journal size that triggers a rebuild on the
-	// next query. Zero means DefaultRebuildThreshold; negative disables
-	// automatic rebuilds.
+	// RebuildThreshold is the journal size at which an insert triggers a
+	// background fold-and-rebuild. Zero means DefaultRebuildThreshold;
+	// negative disables automatic rebuilds (the caller folds explicitly
+	// with Rebuild, as the serving layer does).
 	RebuildThreshold int
 	// IndexOptions configures (re)builds of the base index.
 	IndexOptions core.Options
+	// OnFold, when non-nil, is called after every completed fold — the
+	// background ones and explicit Rebuild calls — including failed ones
+	// (Err set). It runs on the folding goroutine; keep it quick.
+	OnFold func(FoldStats)
 }
 
-// DeltaGraph is an RLC-indexed graph that accepts edge insertions.
-// Not safe for concurrent use.
-type DeltaGraph struct {
-	opts Options
-
+// view is one immutable epoch of the delta graph: a base graph with its
+// index, plus the journal prefix this view can see. Readers load the current
+// view with one atomic pointer load and then touch nothing mutable — the
+// journal prefix [:jlen] is frozen (the writer only ever appends at >= jlen
+// of the newest view), adj is never mutated after publication, and probes is
+// a concurrent map of immutable values.
+type view struct {
+	epoch uint64
 	base  *graph.Graph
-	index *core.Index
+	ix    *core.Index
 
-	// journal holds edges not yet folded into the base.
+	// journal is the shared append-only edge log; this view reads only
+	// journal[:jlen]. The writer may append at index jlen of the NEWEST
+	// view (a slot no published view can read), then publish a successor
+	// view with a larger jlen — the atomic pointer store orders the write
+	// before any read.
 	journal []graph.Edge
-	// union is the base plus the journal, rebuilt lazily after inserts.
-	union      *graph.Graph
-	unionStale bool
+	jlen    int
 
-	// probes caches target probes per (target, constraint) for the
-	// current journal generation.
-	probes map[probeKey]*core.TargetProbe
+	// adj is the copy-on-write union adjacency for the sealed journal
+	// prefix [:sealed]: src -> its journal out-edges. Edges in
+	// journal[sealed:jlen] (at most one unsealed segment) are found by a
+	// linear tail scan instead.
+	adj    map[graph.Vertex][]graph.Edge
+	sealed int
+
+	// probes caches target probes per (t, constraint). A probe reflects
+	// only the base index, which is immutable for the whole epoch, so the
+	// cache needs no invalidation on inserts — the delta search handles
+	// journal paths itself — and is shared by every view of the epoch.
+	probes *sync.Map
 }
 
 type probeKey struct {
@@ -50,19 +96,52 @@ type probeKey struct {
 	constraint string
 }
 
-// New wraps an already-indexed graph. The index must have been built over
-// g.
+// DeltaGraph is an RLC-indexed graph that accepts edge insertions while
+// answering queries exactly. It is safe for concurrent use: any number of
+// goroutines may Query (the read path takes no locks) while others insert,
+// and a background goroutine folds the journal into a rebuilt base index
+// once it crosses Options.RebuildThreshold — queries never block on, or
+// perform, a rebuild.
+type DeltaGraph struct {
+	opts Options
+
+	// mu serializes writers (AddEdge/AddEdges) and epoch installs. The
+	// read path never takes it.
+	mu  sync.Mutex
+	cur atomic.Pointer[view]
+
+	// foldMu serializes folds (background and explicit Rebuild). foldCtl
+	// guards the background-folder bookkeeping: foldRunning dedups folder
+	// goroutines, and foldDone is closed when the current folder exits —
+	// what Quiesce waits on. (A plain channel instead of a WaitGroup: a
+	// reused WaitGroup would race a new folder's Add against a parked
+	// Quiesce Wait.)
+	foldMu      sync.Mutex
+	foldCtl     sync.Mutex
+	foldRunning bool
+	foldDone    chan struct{}
+}
+
+// New wraps an already-indexed graph. The index must have been built over g.
 func New(g *graph.Graph, ix *core.Index, opts Options) *DeltaGraph {
 	if opts.RebuildThreshold == 0 {
 		opts.RebuildThreshold = DefaultRebuildThreshold
 	}
-	return &DeltaGraph{
-		opts:   opts,
-		base:   g,
-		index:  ix,
-		union:  g,
-		probes: make(map[probeKey]*core.TargetProbe),
+	d := &DeltaGraph{opts: opts}
+	d.cur.Store(&view{base: g, ix: ix, adj: map[graph.Vertex][]graph.Edge{}, probes: &sync.Map{}})
+	return d
+}
+
+// NewWithJournal wraps an indexed graph and seeds the journal with edges not
+// yet folded into it — how the serving layer carries un-folded inserts from
+// a retired epoch into the one built from a fresh snapshot. Every edge is
+// validated against g like an AddEdge.
+func NewWithJournal(g *graph.Graph, ix *core.Index, opts Options, journal []graph.Edge) (*DeltaGraph, error) {
+	d := New(g, ix, opts)
+	if err := d.AddEdges(journal); err != nil {
+		return nil, err
 	}
+	return d, nil
 }
 
 // Build indexes g and wraps it in one step.
@@ -74,34 +153,113 @@ func Build(g *graph.Graph, opts Options) (*DeltaGraph, error) {
 	return New(g, ix, opts), nil
 }
 
-// Graph returns the current union graph (base + journal).
+// Graph materializes the current union graph (base + journal). Unlike the
+// read path it allocates; it exists for folds, tests, and inspection.
 func (d *DeltaGraph) Graph() *graph.Graph {
-	d.refreshUnion()
-	return d.union
+	v := d.cur.Load()
+	return unionGraph(v.base, v.journal[:v.jlen])
 }
 
-// Index returns the base index. It reflects the base graph only; use Query
-// for answers that include journal edges.
-func (d *DeltaGraph) Index() *core.Index { return d.index }
+// Index returns the current epoch's base index. It reflects the base graph
+// only; use Query for answers that include journal edges.
+func (d *DeltaGraph) Index() *core.Index { return d.cur.Load().ix }
 
 // JournalLen returns the number of edges awaiting a fold.
-func (d *DeltaGraph) JournalLen() int { return len(d.journal) }
+func (d *DeltaGraph) JournalLen() int { return d.cur.Load().jlen }
 
-// AddEdge inserts a directed labeled edge. Vertices beyond the base
-// graph's range are rejected — grow the graph and rebuild for schema
-// changes. Duplicate edges are accepted and deduplicated at fold time.
-func (d *DeltaGraph) AddEdge(src graph.Vertex, label graph.Label, dst graph.Vertex) error {
-	n := graph.Vertex(d.base.NumVertices())
-	if src < 0 || src >= n || dst < 0 || dst >= n {
-		return fmt.Errorf("dynamic: vertex out of range [0, %d)", n)
+// Epoch returns how many folds have completed (0 for the initial base).
+func (d *DeltaGraph) Epoch() uint64 { return d.cur.Load().epoch }
+
+// validateEdge checks an insert against the fixed vertex/label universe,
+// wrapping the index's typed sentinels so callers (and HTTP clients, via the
+// serving layer's error codes) classify failures without parsing text.
+func validateEdge(g *graph.Graph, src graph.Vertex, label graph.Label, dst graph.Vertex) error {
+	n := graph.Vertex(g.NumVertices())
+	if src < 0 || src >= n {
+		return fmt.Errorf("%w: source %d out of range [0, %d)", core.ErrVertexRange, src, n)
 	}
-	if label < 0 || int(label) >= d.base.NumLabels() {
-		return fmt.Errorf("dynamic: label %d outside the base label set of %d", label, d.base.NumLabels())
+	if dst < 0 || dst >= n {
+		return fmt.Errorf("%w: destination %d out of range [0, %d)", core.ErrVertexRange, dst, n)
 	}
-	d.journal = append(d.journal, graph.Edge{Src: src, Dst: dst, Label: label})
-	d.unionStale = true
-	clear(d.probes)
+	if label < 0 || int(label) >= g.NumLabels() {
+		return fmt.Errorf("%w: label %d outside the base label set of %d", core.ErrUnknownLabel, label, g.NumLabels())
+	}
 	return nil
+}
+
+// AddEdge inserts a directed labeled edge. Vertices and labels beyond the
+// base graph's range are rejected with errors wrapping ErrVertexRange /
+// ErrUnknownLabel — grow the graph and rebuild for schema changes. Duplicate
+// edges are accepted and deduplicated at fold time.
+func (d *DeltaGraph) AddEdge(src graph.Vertex, label graph.Label, dst graph.Vertex) error {
+	return d.AddEdges([]graph.Edge{{Src: src, Dst: dst, Label: label}})
+}
+
+// AddEdges inserts a batch atomically: either every edge validates and the
+// batch becomes visible to readers in one publish, or none of it does.
+func (d *DeltaGraph) AddEdges(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	v := d.cur.Load()
+	for _, e := range edges {
+		if err := validateEdge(v.base, e.Src, e.Label, e.Dst); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+	}
+	nv := v.appendEdges(edges)
+	d.cur.Store(nv)
+	jlen := nv.jlen
+	d.mu.Unlock()
+	d.maybeTriggerFold(jlen)
+	return nil
+}
+
+// appendEdges extends the journal by edges and returns the successor view,
+// sealing full segments into a fresh copy-on-write adjacency map. Called
+// with d.mu held; the receiver stays untouched.
+func (v *view) appendEdges(edges []graph.Edge) *view {
+	nv := &view{
+		epoch:   v.epoch,
+		base:    v.base,
+		ix:      v.ix,
+		journal: append(v.journal[:v.jlen], edges...),
+		jlen:    v.jlen + len(edges),
+		adj:     v.adj,
+		sealed:  v.sealed,
+		probes:  v.probes,
+	}
+	if nv.jlen-nv.sealed >= segmentSize {
+		nv.seal()
+	}
+	return nv
+}
+
+// seal folds journal[sealed:jlen] into a fresh adjacency map. Shared
+// per-vertex slices are copied in full before extension, so no memory
+// reachable from an older view is ever written.
+func (v *view) seal() {
+	adj := make(map[graph.Vertex][]graph.Edge, len(v.adj)+8)
+	for src, es := range v.adj {
+		adj[src] = es
+	}
+	added := make(map[graph.Vertex]int, 8)
+	for _, e := range v.journal[v.sealed:v.jlen] {
+		added[e.Src]++
+	}
+	for src, k := range added {
+		old := adj[src]
+		ne := make([]graph.Edge, len(old), len(old)+k)
+		copy(ne, old)
+		adj[src] = ne
+	}
+	for _, e := range v.journal[v.sealed:v.jlen] {
+		adj[e.Src] = append(adj[e.Src], e)
+	}
+	v.adj = adj
+	v.sealed = v.jlen
 }
 
 // RemoveEdge always fails: see ErrDeletionsUnsupported.
@@ -109,128 +267,44 @@ func (d *DeltaGraph) RemoveEdge(src graph.Vertex, label graph.Label, dst graph.V
 	return ErrDeletionsUnsupported
 }
 
-// Rebuild folds the journal into the base graph and rebuilds the index.
-func (d *DeltaGraph) Rebuild() error {
-	if len(d.journal) == 0 {
-		return nil
-	}
-	d.refreshUnion()
-	ix, err := core.Build(d.union, d.opts.IndexOptions)
-	if err != nil {
-		return err
-	}
-	d.base = d.union
-	d.index = ix
-	d.journal = nil
-	clear(d.probes)
-	return nil
-}
-
-func (d *DeltaGraph) refreshUnion() {
-	if !d.unionStale {
-		return
-	}
-	b := graph.NewBuilder(d.base.NumVertices(), d.base.NumLabels())
-	for _, e := range d.base.Edges() {
-		b.AddEdge(e.Src, e.Label, e.Dst)
-	}
-	for _, e := range d.journal {
-		b.AddEdge(e.Src, e.Label, e.Dst)
-	}
-	d.union = b.Build()
-	d.unionStale = false
-}
-
-// Query answers the RLC query (s, t, L+) over the current graph (base plus
-// journal), exactly.
+// Query answers the RLC query (s, t, L+) over the current epoch's graph
+// (base plus journal), exactly. The read path is lock-free: it pins one
+// immutable view, tries the base index (sound, because insertions only add
+// paths), and only on a miss runs the index-accelerated delta search. It
+// never performs or waits for a rebuild.
 func (d *DeltaGraph) Query(s, t graph.Vertex, l labelseq.Seq) (bool, error) {
-	if d.opts.RebuildThreshold > 0 && len(d.journal) >= d.opts.RebuildThreshold {
-		if err := d.Rebuild(); err != nil {
-			return false, err
-		}
-	}
-	// Fast path: the base index alone. Sound because insertions only add
-	// paths.
-	ok, err := d.index.Query(s, t, l)
+	return d.QueryRLC(context.Background(), s, t, l)
+}
+
+// QueryRLC is Query under a context (the facade's Querier interface):
+// cancellation and deadlines are checked once per BFS level of the delta
+// search, so an abandoned request cannot pin a generation for a whole
+// product traversal.
+func (d *DeltaGraph) QueryRLC(ctx context.Context, s, t graph.Vertex, l labelseq.Seq) (bool, error) {
+	v := d.cur.Load()
+	ok, err := v.ix.Query(s, t, l)
 	if err != nil || ok {
 		return ok, err
 	}
-	if len(d.journal) == 0 {
+	if v.jlen == 0 {
 		return false, nil
 	}
-	return d.deltaQuery(s, t, l)
-}
-
-// deltaQuery searches the union graph for a witness that uses at least one
-// journal edge... in fact for any witness: a product BFS over (vertex,
-// phase) that consults the base index at every period boundary. The probe
-// makes true answers terminate at the first boundary vertex whose indexed
-// suffix completes the path.
-func (d *DeltaGraph) deltaQuery(s, t graph.Vertex, l labelseq.Seq) (bool, error) {
-	d.refreshUnion()
-	probe, err := d.probeFor(t, l)
+	probe, err := v.probeFor(t, l)
 	if err != nil {
 		return false, err
 	}
-	g := d.union
-	m := len(l)
-	seen := make([]bool, g.NumVertices()*m)
-
-	// Seed: s at phase 0. A boundary probe at the seed is exactly the
-	// base-index query the caller already ran, so skip it.
-	frontier := []int64{int64(s) * int64(m)}
-	seen[frontier[0]] = true
-
-	for len(frontier) > 0 {
-		var next []int64
-		for _, node := range frontier {
-			v := graph.Vertex(node / int64(m))
-			phase := int(node % int64(m))
-			expected := l[phase]
-			dsts, lbls := g.OutEdges(v)
-			np := (phase + 1) % m
-			for i := range dsts {
-				if lbls[i] != expected {
-					continue
-				}
-				y := dsts[i]
-				np0 := np == 0
-				// Arriving at the target on a period boundary completes
-				// the path. Checked before the seen-skip: when s == t the
-				// accept state coincides with the pre-marked seed.
-				if np0 && y == t {
-					return true, nil
-				}
-				id := int64(y)*int64(m) + int64(np)
-				if seen[id] {
-					continue
-				}
-				seen[id] = true
-				// Period boundary: the traversed prefix is L^j; the path
-				// completes if the BASE index carries a suffix from y.
-				// (Seen boundary nodes were probed on first visit; the
-				// seed needs no probe — it equals the caller's base
-				// query.)
-				if np0 && probe.Reaches(y) {
-					return true, nil
-				}
-				next = append(next, id)
-			}
-		}
-		frontier = next
-	}
-	return false, nil
+	return v.deltaQuery(ctx, s, t, l, probe)
 }
 
-func (d *DeltaGraph) probeFor(t graph.Vertex, l labelseq.Seq) (*core.TargetProbe, error) {
+func (v *view) probeFor(t graph.Vertex, l labelseq.Seq) (*core.TargetProbe, error) {
 	key := probeKey{t: t, constraint: l.String()}
-	if p, ok := d.probes[key]; ok {
-		return p, nil
+	if p, ok := v.probes.Load(key); ok {
+		return p.(*core.TargetProbe), nil
 	}
-	p, err := d.index.NewTargetProbe(t, l)
+	p, err := v.ix.NewTargetProbe(t, l)
 	if err != nil {
 		return nil, err
 	}
-	d.probes[key] = p
-	return p, nil
+	actual, _ := v.probes.LoadOrStore(key, p)
+	return actual.(*core.TargetProbe), nil
 }

@@ -143,8 +143,8 @@ func TestRebuildFoldsJournal(t *testing.T) {
 	}
 }
 
-// TestAutoRebuildThreshold: crossing the threshold folds the journal on the
-// next query.
+// TestAutoRebuildThreshold: crossing the threshold triggers a BACKGROUND
+// fold; after quiescing, the journal is empty and the epoch advanced.
 func TestAutoRebuildThreshold(t *testing.T) {
 	g := graph.FromEdges(4, 2, []graph.Edge{{Src: 0, Dst: 1, Label: 0}})
 	d, err := Build(g, Options{IndexOptions: core.Options{K: 2}, RebuildThreshold: 3})
@@ -156,11 +156,17 @@ func TestAutoRebuildThreshold(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := d.Query(0, 1, labelseq.Seq{0}); err != nil {
-		t.Fatal(err)
-	}
+	d.Quiesce()
 	if d.JournalLen() != 0 {
 		t.Errorf("threshold rebuild did not trigger: journal = %d", d.JournalLen())
+	}
+	if d.Epoch() == 0 {
+		t.Error("epoch did not advance after a background fold")
+	}
+	// Queries over the folded graph answer from the new base alone.
+	ok, err := d.Query(0, 1, labelseq.Seq{0})
+	if err != nil || !ok {
+		t.Fatalf("post-fold query = %v, %v; want true", ok, err)
 	}
 }
 

@@ -1,0 +1,178 @@
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"github.com/g-rpqs/rlc-go/internal/automaton"
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// deltaQuery searches the union graph (base ∪ journal) for a witness of
+// (s, t, L+): a product BFS over (vertex, phase) that consults the base
+// index at every period boundary. The probe makes true answers terminate at
+// the first boundary vertex whose indexed suffix completes the path. Union
+// adjacency is composed on the fly — base CSR, sealed copy-on-write map,
+// then a linear scan of the one unsealed journal segment — so the search
+// touches no lock and no memory another goroutine may write. ctx is
+// checked once per BFS level.
+func (v *view) deltaQuery(ctx context.Context, s, t graph.Vertex, l labelseq.Seq, probe *core.TargetProbe) (bool, error) {
+	m := len(l)
+	seen := make([]bool, v.base.NumVertices()*m)
+
+	// Seed: s at phase 0. A boundary probe at the seed is exactly the
+	// base-index query the caller already ran, so skip it.
+	frontier := []int64{int64(s) * int64(m)}
+	seen[frontier[0]] = true
+
+	var next []int64
+	// step expands one product edge; it reports true when the target is
+	// reached on a period boundary or the base index completes the path.
+	step := func(phase int, expected graph.Label, y graph.Vertex, lb graph.Label) bool {
+		if lb != expected {
+			return false
+		}
+		np := (phase + 1) % m
+		// Arriving at the target on a period boundary completes the
+		// path. Checked before the seen-skip: when s == t the accept
+		// state coincides with the pre-marked seed.
+		if np == 0 && y == t {
+			return true
+		}
+		id := int64(y)*int64(m) + int64(np)
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		// Period boundary: the traversed prefix is L^j; the path
+		// completes if the BASE index carries a suffix from y. (Seen
+		// boundary nodes were probed on first visit; the seed needs no
+		// probe — it equals the caller's base query.)
+		if np == 0 && probe.Reaches(y) {
+			return true
+		}
+		next = append(next, id)
+		return false
+	}
+
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		next = next[:0]
+		for _, node := range frontier {
+			u := graph.Vertex(node / int64(m))
+			phase := int(node % int64(m))
+			expected := l[phase]
+			dsts, lbls := v.base.OutEdges(u)
+			for i := range dsts {
+				if step(phase, expected, dsts[i], lbls[i]) {
+					return true, nil
+				}
+			}
+			for _, e := range v.adj[u] {
+				if step(phase, expected, e.Dst, e.Label) {
+					return true, nil
+				}
+			}
+			for _, e := range v.journal[v.sealed:v.jlen] {
+				if e.Src == u && step(phase, expected, e.Dst, e.Label) {
+					return true, nil
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return false, nil
+}
+
+// EvalExpr answers an arbitrary path expression (any concatenation of plus
+// segments, including constraints outside the index's class) over the
+// current union graph, exactly, by an NFA-guided product BFS. It carries no
+// index acceleration — the serving layer routes here only when the journal
+// is non-empty and the expression falls outside the single-L+ index class —
+// but like Query it is lock-free and safe for any number of concurrent
+// callers.
+func (d *DeltaGraph) EvalExpr(s, t graph.Vertex, e automaton.Expr) (bool, error) {
+	return d.EvalExprCtx(context.Background(), s, t, e)
+}
+
+// EvalExprCtx is EvalExpr under a context, checked once per BFS level.
+func (d *DeltaGraph) EvalExprCtx(ctx context.Context, s, t graph.Vertex, e automaton.Expr) (bool, error) {
+	v := d.cur.Load()
+	n := graph.Vertex(v.base.NumVertices())
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return false, fmt.Errorf("%w: query (%d, %d) outside [0, %d)", core.ErrVertexRange, s, t, n)
+	}
+	nfa, err := automaton.Compile(e, v.base.NumLabels())
+	if err != nil {
+		return false, err
+	}
+	return v.evalNFA(ctx, s, t, nfa)
+}
+
+// evalNFA is a forward NFA-guided BFS over the union adjacency — the
+// traversal package's BFS re-based onto the lock-free view. Expressions
+// never accept the empty word (every plus segment consumes at least one
+// label), so the seed is never accepting.
+func (v *view) evalNFA(ctx context.Context, s, t graph.Vertex, nfa *automaton.NFA) (bool, error) {
+	ns := nfa.NumStates()
+	accept := nfa.Accept()
+	seen := make([]bool, v.base.NumVertices()*ns)
+
+	type node struct {
+		v graph.Vertex
+		q automaton.State
+	}
+	frontier := []node{{s, 0}}
+	seen[int(s)*ns] = true
+
+	var next []node
+	step := func(q automaton.State, y graph.Vertex, lb graph.Label) bool {
+		for m := nfa.Step(q, lb); m != 0; m &= m - 1 {
+			nq := automaton.State(trailingZeros(m))
+			id := int(y)*ns + int(nq)
+			if seen[id] {
+				continue
+			}
+			if y == t && nq == accept {
+				return true
+			}
+			seen[id] = true
+			next = append(next, node{y, nq})
+		}
+		return false
+	}
+
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		next = next[:0]
+		for _, nd := range frontier {
+			dsts, lbls := v.base.OutEdges(nd.v)
+			for i := range dsts {
+				if step(nd.q, dsts[i], lbls[i]) {
+					return true, nil
+				}
+			}
+			for _, e := range v.adj[nd.v] {
+				if step(nd.q, e.Dst, e.Label) {
+					return true, nil
+				}
+			}
+			for _, e := range v.journal[v.sealed:v.jlen] {
+				if e.Src == nd.v && step(nd.q, e.Dst, e.Label) {
+					return true, nil
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return false, nil
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -55,19 +55,24 @@ func (c CacheStats) HitRate() float64 {
 	return float64(c.Hits) / float64(total)
 }
 
-// flight is one in-progress computation other goroutines can wait on.
+// flight is one in-progress computation other goroutines can wait on. ver is
+// the write version the computation started at: callers at a newer version
+// must not coalesce onto it (its result may predate their writes).
 type flight struct {
 	done chan struct{}
 	val  bool
 	err  error
+	ver  uint64
 }
 
 // lruNode is one resident entry in a shard's intrusive LRU list. Nodes are
 // index-linked into the shard's node slice so a full shard is one allocation
-// block instead of a pointer web.
+// block instead of a pointer web. ver stamps the write version the value was
+// computed at (see the validity rule in do).
 type lruNode struct {
 	key        cacheKey
 	val        bool
+	ver        uint64
 	prev, next int32
 }
 
@@ -141,24 +146,45 @@ func (c *cache) shardFor(k cacheKey) *cacheShard {
 // entry; coalesced callers report cached=false (they waited for the compute).
 // Errors are broadcast to coalesced waiters but never cached: a failing
 // compute (e.g. a transient condition) must not poison the key.
-func (c *cache) do(k cacheKey, compute func() (bool, error)) (val bool, cached bool, err error) {
+//
+// ver is the caller's write version (the serving generation's insert counter
+// at request start; constantly 0 on immutable servers). Validity exploits
+// that the write path is insert-only — edges are only ever added, deletions
+// are rejected — so reachability answers within a generation are monotone:
+// a cached TRUE can never be invalidated by a write and is served at any
+// version, while a cached FALSE may have been flipped by a later insert and
+// is served only at the exact version it was computed at. One insert thus
+// logically invalidates every negative entry at once without touching them;
+// stale negatives are refreshed in place on their next miss.
+func (c *cache) do(k cacheKey, ver uint64, compute func() (bool, error)) (val bool, cached bool, err error) {
 	sh := c.shardFor(k)
 
 	sh.mu.Lock()
 	if idx, ok := sh.table[k]; ok {
-		sh.moveToFront(idx)
-		val = sh.nodes[idx].val
-		sh.mu.Unlock()
-		c.hits.Add(1)
-		return val, true, nil
+		n := &sh.nodes[idx]
+		if n.val || n.ver == ver {
+			sh.moveToFront(idx)
+			val = n.val
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return val, true, nil
+		}
+		// Stale FALSE: fall through and recompute (refreshing the entry).
 	}
-	if fl, ok := sh.flights[k]; ok {
+	if fl, ok := sh.flights[k]; ok && fl.ver == ver {
 		sh.mu.Unlock()
 		c.coalesced.Add(1)
 		<-fl.done
 		return fl.val, false, fl.err
 	}
-	fl := &flight{done: make(chan struct{})}
+	// No flight at this version. A resident flight from an older version
+	// may return an answer that predates this caller's writes, so it is
+	// not joined — a replacement flight at the current version takes its
+	// map slot instead (finish only deletes the entry it still owns), and
+	// later same-version callers coalesce onto the replacement rather than
+	// stampeding. The two finishes race benignly: both stamp their own
+	// version, and TRUE wins by monotonicity either way.
+	fl := &flight{done: make(chan struct{}), ver: ver}
 	sh.flights[k] = fl
 	sh.mu.Unlock()
 	c.misses.Add(1)
@@ -168,9 +194,11 @@ func (c *cache) do(k cacheKey, compute func() (bool, error)) (val bool, cached b
 	// deferred path fails the flight and lets the panic propagate.
 	finish := func() {
 		sh.mu.Lock()
-		delete(sh.flights, k)
+		if sh.flights[k] == fl {
+			delete(sh.flights, k)
+		}
 		if fl.err == nil {
-			c.account(sh.insert(k, fl.val))
+			c.account(sh.insert(k, fl.ver, fl.val))
 		}
 		sh.mu.Unlock()
 		close(fl.done)
@@ -199,14 +227,20 @@ func (c *cache) account(added, evicted bool) {
 }
 
 // get is a pure lookup (no singleflight, no insert); the batch path uses it
-// to peel resident answers off a request before fanning the rest out.
-func (c *cache) get(k cacheKey) (val bool, ok bool) {
+// to peel resident answers off a request before fanning the rest out. It
+// applies the same monotone validity rule as do.
+func (c *cache) get(k cacheKey, ver uint64) (val bool, ok bool) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	idx, ok := sh.table[k]
 	if ok {
-		sh.moveToFront(idx)
-		val = sh.nodes[idx].val
+		n := &sh.nodes[idx]
+		if n.val || n.ver == ver {
+			sh.moveToFront(idx)
+			val = n.val
+		} else {
+			ok = false
+		}
 	}
 	sh.mu.Unlock()
 	if ok {
@@ -218,10 +252,10 @@ func (c *cache) get(k cacheKey) (val bool, ok bool) {
 }
 
 // put inserts a computed answer, evicting the shard's LRU entry when full.
-func (c *cache) put(k cacheKey, val bool) {
+func (c *cache) put(k cacheKey, ver uint64, val bool) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
-	added, evicted := sh.insert(k, val)
+	added, evicted := sh.insert(k, ver, val)
 	sh.mu.Unlock()
 	c.account(added, evicted)
 }
@@ -242,11 +276,16 @@ func (c *cache) stats() CacheStats {
 
 // insert adds or refreshes k under the shard lock. added reports a net new
 // resident entry, evicted that the LRU tail was displaced to make room.
-// Re-inserting a resident key (two batch misses racing) just refreshes its
-// value and recency.
-func (sh *cacheShard) insert(k cacheKey, val bool) (added, evicted bool) {
+// Re-inserting a resident key (two batch misses racing, or a stale negative
+// being refreshed) just updates its value, version, and recency — a TRUE
+// never regresses to FALSE because computes observing the insert run at a
+// version at least as new.
+func (sh *cacheShard) insert(k cacheKey, ver uint64, val bool) (added, evicted bool) {
 	if idx, ok := sh.table[k]; ok {
-		sh.nodes[idx].val = val
+		n := &sh.nodes[idx]
+		if !n.val || val {
+			n.val, n.ver = val, ver
+		}
 		sh.moveToFront(idx)
 		return false, false
 	}
@@ -263,7 +302,7 @@ func (sh *cacheShard) insert(k cacheKey, val bool) (added, evicted bool) {
 		delete(sh.table, sh.nodes[idx].key)
 		evicted = true
 	}
-	sh.nodes[idx] = lruNode{key: k, val: val, prev: -1, next: -1}
+	sh.nodes[idx] = lruNode{key: k, val: val, ver: ver, prev: -1, next: -1}
 	sh.table[k] = idx
 	sh.pushFront(idx)
 	return added, evicted

@@ -16,7 +16,7 @@ func TestCacheHitMissEviction(t *testing.T) {
 	}
 
 	for i := 0; i < 4; i++ {
-		if _, cached, _ := c.do(key(i), compute(i%2 == 0)); cached {
+		if _, cached, _ := c.do(key(i), 0, compute(i%2 == 0)); cached {
 			t.Fatalf("first lookup of key %d reported cached", i)
 		}
 	}
@@ -27,7 +27,7 @@ func TestCacheHitMissEviction(t *testing.T) {
 
 	// All four are resident.
 	for i := 0; i < 4; i++ {
-		val, cached, err := c.do(key(i), compute(false))
+		val, cached, err := c.do(key(i), 0, compute(false))
 		if err != nil || !cached || val != (i%2 == 0) {
 			t.Fatalf("key %d: val=%v cached=%v err=%v", i, val, cached, err)
 		}
@@ -38,17 +38,17 @@ func TestCacheHitMissEviction(t *testing.T) {
 
 	// Key 0 was touched most recently except 1..3; LRU order is 0,1,2,3 with
 	// 3 most recent. Inserting key 4 must evict key 0.
-	if _, cached, _ := c.do(key(4), compute(true)); cached {
+	if _, cached, _ := c.do(key(4), 0, compute(true)); cached {
 		t.Fatal("key 4 reported cached on first lookup")
 	}
 	st = c.stats()
 	if st.Evictions != 1 || st.Entries != 4 {
 		t.Fatalf("after eviction: %+v", st)
 	}
-	if _, cached, _ := c.do(key(0), compute(true)); cached {
+	if _, cached, _ := c.do(key(0), 0, compute(true)); cached {
 		t.Fatal("key 0 still cached after it should have been evicted")
 	}
-	if _, cached, _ := c.do(key(3), compute(false)); !cached {
+	if _, cached, _ := c.do(key(3), 0, compute(false)); !cached {
 		t.Fatal("key 3 evicted although it was more recently used than key 0")
 	}
 }
@@ -57,18 +57,18 @@ func TestCacheErrorNotCached(t *testing.T) {
 	c := newCache(8, 1)
 	k := cacheKey{s: 1, t: 2, expr: "(l0)+"}
 	wantErr := fmt.Errorf("transient")
-	if _, _, err := c.do(k, func() (bool, error) { return false, wantErr }); err != wantErr {
+	if _, _, err := c.do(k, 0, func() (bool, error) { return false, wantErr }); err != wantErr {
 		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 	if st := c.stats(); st.Entries != 0 {
 		t.Fatalf("error was cached: %+v", st)
 	}
 	// The key still computes (and caches) after a failed attempt.
-	val, cached, err := c.do(k, func() (bool, error) { return true, nil })
+	val, cached, err := c.do(k, 0, func() (bool, error) { return true, nil })
 	if err != nil || cached || !val {
 		t.Fatalf("retry after error: val=%v cached=%v err=%v", val, cached, err)
 	}
-	if _, cached, _ = c.do(k, func() (bool, error) { return false, nil }); !cached {
+	if _, cached, _ = c.do(k, 0, func() (bool, error) { return false, nil }); !cached {
 		t.Fatal("successful retry was not cached")
 	}
 }
@@ -90,7 +90,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			val, _, err := c.do(k, func() (bool, error) {
+			val, _, err := c.do(k, 0, func() (bool, error) {
 				entered <- struct{}{} // only the flight leader gets here
 				<-gate
 				computes.Add(1)
@@ -138,7 +138,7 @@ func TestCachePanicUnwedgesKey(t *testing.T) {
 	waiterErr := make(chan error, 1)
 	go func() {
 		<-entered
-		_, _, err := c.do(k, func() (bool, error) { return true, nil })
+		_, _, err := c.do(k, 0, func() (bool, error) { return true, nil })
 		waiterErr <- err
 	}()
 
@@ -148,7 +148,7 @@ func TestCachePanicUnwedgesKey(t *testing.T) {
 				t.Error("leader's panic did not propagate")
 			}
 		}()
-		c.do(k, func() (bool, error) {
+		c.do(k, 0, func() (bool, error) {
 			close(entered)
 			// Let the waiter land in the flight map before panicking.
 			time.Sleep(50 * time.Millisecond)
@@ -168,11 +168,11 @@ func TestCachePanicUnwedgesKey(t *testing.T) {
 	}
 
 	// The key is not wedged: a fresh computation succeeds and caches.
-	val, cached, err := c.do(k, func() (bool, error) { return true, nil })
+	val, cached, err := c.do(k, 0, func() (bool, error) { return true, nil })
 	if err != nil || !val {
 		t.Fatalf("post-panic compute: val=%v cached=%v err=%v", val, cached, err)
 	}
-	if _, cached, _ = c.do(k, func() (bool, error) { return false, nil }); !cached {
+	if _, cached, _ = c.do(k, 0, func() (bool, error) { return false, nil }); !cached {
 		t.Fatal("post-panic result was not cached")
 	}
 }
@@ -220,7 +220,7 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				id := (g*31 + i*7) % keyspace
 				want := id%3 == 0
-				val, _, err := c.do(cacheKey{s: int32(id), t: int32(id / 2), expr: "(l0)+"},
+				val, _, err := c.do(cacheKey{s: int32(id), t: int32(id / 2), expr: "(l0)+"}, 0,
 					func() (bool, error) { return want, nil })
 				if err != nil {
 					t.Errorf("goroutine %d iter %d: %v", g, i, err)
@@ -244,5 +244,46 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	if st.Evictions == 0 {
 		t.Fatal("expected evictions with a keyspace 4x the capacity")
+	}
+}
+
+// TestCacheVersioning pins the monotone validity rule: cached TRUE answers
+// survive any version bump (inserts only add paths), cached FALSE answers
+// are valid only at the version they were computed at, and a stale negative
+// refreshes in place.
+func TestCacheVersioning(t *testing.T) {
+	c := newCache(8, 1)
+	kf := cacheKey{s: 1, t: 2, code: 3}
+	kt := cacheKey{s: 4, t: 5, code: 6}
+
+	c.put(kf, 0, false)
+	c.put(kt, 0, true)
+	if _, ok := c.get(kf, 0); !ok {
+		t.Fatal("false entry must hit at its own version")
+	}
+	if _, ok := c.get(kf, 1); ok {
+		t.Fatal("false entry must miss after a version bump")
+	}
+	if v, ok := c.get(kt, 7); !ok || !v {
+		t.Fatal("true entry must hit at any version")
+	}
+
+	// Refresh the stale negative at the new version (false -> false).
+	c.put(kf, 1, false)
+	if _, ok := c.get(kf, 1); !ok {
+		t.Fatal("refreshed false entry must hit at the refresh version")
+	}
+	// A late stale compute must not regress a TRUE back to FALSE.
+	c.put(kt, 0, false)
+	if v, ok := c.get(kt, 9); !ok || !v {
+		t.Fatal("stale false overwrite regressed a cached TRUE")
+	}
+	// do() at a newer version recomputes over a stale false and caches it.
+	val, cached, err := c.do(kf, 2, func() (bool, error) { return true, nil })
+	if err != nil || cached || !val {
+		t.Fatalf("do over stale false: val=%v cached=%v err=%v", val, cached, err)
+	}
+	if v, ok := c.get(kf, 99); !ok || !v {
+		t.Fatal("recomputed TRUE not resident")
 	}
 }

@@ -1,0 +1,368 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/dynamic"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// errNotMutable rejects write-path operations on a read-only server.
+var errNotMutable = errors.New("server: not mutable; start with Options.Mutable (rlcserve -mutable) to accept updates")
+
+// UpdateResult reports one accepted update batch.
+type UpdateResult struct {
+	// Accepted is the number of edges appended to the journal.
+	Accepted int `json:"accepted"`
+	// Journal is the journal length after the batch.
+	Journal int `json:"journal"`
+	// Epoch is the fold epoch the batch landed in.
+	Epoch uint64 `json:"epoch"`
+	// RebuildTriggered reports that this batch pushed the journal across
+	// the threshold and a background fold was started.
+	RebuildTriggered bool `json:"rebuild_triggered"`
+}
+
+// RebuildResult reports one completed fold-and-rebuild.
+type RebuildResult struct {
+	// Epoch is the epoch the fold produced.
+	Epoch uint64 `json:"epoch"`
+	// Generation is the store generation serving the folded base.
+	Generation uint64 `json:"generation"`
+	// Folded is how many journal edges were folded into the new base.
+	Folded int `json:"folded"`
+	// Journal is how many un-folded edges the new epoch starts with
+	// (inserts that arrived while the rebuild ran).
+	Journal int `json:"journal"`
+	// Path is the bundle the fold wrote ("" for in-process folds).
+	Path string `json:"path,omitempty"`
+	// Duration is the wall time of the fold, including the index build
+	// and bundle write.
+	Duration time.Duration `json:"-"`
+	// Err is set only on the OnRebuild callback for failed folds; the
+	// previous generation keeps serving.
+	Err error `json:"-"`
+}
+
+// UpdateBatch validates and inserts edges atomically: either every edge is
+// appended to the serving generation's journal in one publish, or none is.
+// Queries racing with the batch never block and answer exactly against
+// whatever prefix of the batch is visible. Crossing Options.
+// RebuildThreshold triggers a background fold; the call never waits for it.
+func (s *Server) UpdateBatch(edges []graph.Edge) (UpdateResult, error) {
+	if !s.opts.Mutable {
+		return UpdateResult{}, errNotMutable
+	}
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	st := s.store.acquire()
+	if st == nil {
+		return UpdateResult{}, errServerClosed
+	}
+	defer st.release()
+	if err := st.delta.AddEdges(edges); err != nil {
+		return UpdateResult{}, err
+	}
+	// Bump the cache version after publishing: computes that missed the
+	// new edges carry an older stamp and are never served to requests
+	// that start after this call returns.
+	s.store.writes.Add(uint64(len(edges)))
+	res := UpdateResult{
+		Accepted: len(edges),
+		Journal:  st.delta.JournalLen(),
+		Epoch:    s.epoch.Load(),
+	}
+	if thr := s.opts.RebuildThreshold; thr > 0 && res.Journal >= thr {
+		res.RebuildTriggered = s.TriggerRebuild()
+	}
+	return res, nil
+}
+
+// TriggerRebuild starts a background fold-and-rebuild goroutine, reporting
+// whether it started one (false when the server is immutable or a fold is
+// already running). The folder keeps folding until the journal is back
+// under the threshold or a fold fails.
+func (s *Server) TriggerRebuild() bool {
+	if !s.opts.Mutable {
+		return false
+	}
+	if !s.rebuilding.CompareAndSwap(false, true) {
+		return false
+	}
+	go func() {
+		defer s.rebuilding.Store(false)
+		for {
+			res, err := s.rebuildOnce()
+			if err != nil {
+				return
+			}
+			if thr := s.opts.RebuildThreshold; thr <= 0 || res.Journal < thr {
+				return
+			}
+		}
+	}()
+	return true
+}
+
+// Rebuild folds the journal into a rebuilt base synchronously and returns
+// the fold's outcome. Queries never block on it; concurrent updates are
+// carried into the new epoch. A no-op (empty journal) returns the current
+// epoch with Folded == 0.
+func (s *Server) Rebuild() (RebuildResult, error) {
+	if !s.opts.Mutable {
+		return RebuildResult{}, errNotMutable
+	}
+	return s.rebuildOnce()
+}
+
+// rebuildOnce performs one complete fold: materialize base ∪ journal from
+// the serving generation, rebuild the index (no server lock held — queries
+// and updates proceed), optionally write and re-open a fresh v2 bundle,
+// then swap the new generation in with the un-folded journal tail carried
+// over. Writers are paused only for the carry-over and swap.
+func (s *Server) rebuildOnce() (res RebuildResult, err error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	start := time.Now()
+	defer func() { s.finishRebuild(&res, start, err) }()
+
+	st := s.store.acquire()
+	if st == nil {
+		err = errServerClosed
+		return res, err
+	}
+	union, folded := st.delta.FoldInput()
+	k := st.ix.K()
+	st.release()
+	if folded == 0 {
+		res = RebuildResult{Epoch: s.epoch.Load(), Generation: s.store.Generation()}
+		return res, nil
+	}
+
+	ix, err := core.Build(union, core.Options{K: k, BuildWorkers: s.opts.RebuildWorkers})
+	if err != nil {
+		err = fmt.Errorf("server: fold rebuild: %w", err)
+		return res, err
+	}
+	var (
+		src    *core.Snapshot
+		source = "folded in-process"
+	)
+	if s.opts.RebuildPath != "" {
+		if err = ix.SaveSnapshotFile(s.opts.RebuildPath); err != nil {
+			err = fmt.Errorf("server: write folded bundle: %w", err)
+			return res, err
+		}
+		src, err = core.OpenSnapshot(s.opts.RebuildPath)
+		if err == nil {
+			if verr := src.Verify(); verr != nil {
+				src.Close()
+				err = verr
+			}
+		}
+		if err != nil {
+			err = fmt.Errorf("server: reopen folded bundle: %w", err)
+			return res, err
+		}
+		ix = src.Index()
+		source = "folded snapshot " + s.opts.RebuildPath
+	}
+
+	// Install: writers pause only here, so the journal tail observed is
+	// complete and no insert slips between carry-over and swap.
+	s.updateMu.Lock()
+	st1 := s.store.acquire()
+	if st1 == nil {
+		s.updateMu.Unlock()
+		if src != nil {
+			src.Close()
+		}
+		err = errServerClosed
+		return res, err
+	}
+	leftover := st1.delta.JournalTail(folded)
+	if src != nil {
+		s.store.SwapFolded(ix, src, leftover, source)
+	} else {
+		s.store.SwapFolded(ix, nil, leftover, source)
+	}
+	epoch := s.epoch.Add(1)
+	st1.release()
+	s.updateMu.Unlock()
+
+	res = RebuildResult{
+		Epoch:      epoch,
+		Generation: s.store.Generation(),
+		Folded:     folded,
+		Journal:    len(leftover),
+		Path:       s.opts.RebuildPath,
+	}
+	return res, nil
+}
+
+// finishRebuild records fold telemetry and fires the OnRebuild callback.
+func (s *Server) finishRebuild(res *RebuildResult, start time.Time, err error) {
+	res.Duration = time.Since(start)
+	s.lastRebuildUS.Store(res.Duration.Microseconds())
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	s.lastRebuildEr.Store(&msg)
+	if s.opts.OnRebuild != nil {
+		cb := *res
+		cb.Err = err
+		s.opts.OnRebuild(cb)
+	}
+}
+
+// updateEdgeInput is one edge of a POST /update request. s and t accept
+// numeric ids or display names (like queries); l is a single label token
+// (id, "l<i>", or name). op may be "insert" (the default); "delete" is
+// rejected with the deletions_unsupported code — the RLC index is
+// insert-only incremental.
+type updateEdgeInput struct {
+	S vertexToken `json:"s"`
+	// L reuses the token normalizer so labels, like vertices, arrive as a
+	// JSON number (1) or string ("credits").
+	L  vertexToken `json:"l"`
+	T  vertexToken `json:"t"`
+	Op string      `json:"op,omitempty"`
+}
+
+// updateRequest is the POST /update body: either one inline edge
+// ({"s":0,"l":"l1","t":4}) or a batch ({"edges":[...]}) — batches apply
+// atomically, so one invalid edge rejects the request.
+type updateRequest struct {
+	updateEdgeInput
+	Edges []updateEdgeInput `json:"edges"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) bool {
+	if !s.opts.Mutable {
+		return writeErr(w, http.StatusNotImplemented, errNotMutable)
+	}
+	st := s.store.acquire()
+	if st == nil {
+		return writeError(w, http.StatusServiceUnavailable, "server closed")
+	}
+	defer st.release()
+	var req updateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "decode request: %v", err)
+	}
+	inputs := req.Edges
+	if len(inputs) == 0 {
+		if string(req.S) == "" && string(req.T) == "" && string(req.L) == "" {
+			return writeError(w, http.StatusBadRequest, "empty update: provide s/l/t or a non-empty edges array")
+		}
+		inputs = []updateEdgeInput{req.updateEdgeInput}
+	}
+	if len(inputs) > s.opts.MaxBatch {
+		return writeError(w, http.StatusRequestEntityTooLarge,
+			"update of %d edges exceeds the limit of %d", len(inputs), s.opts.MaxBatch)
+	}
+	edges := make([]graph.Edge, len(inputs))
+	for i, in := range inputs {
+		e, err := st.resolveUpdateEdge(in)
+		if err != nil {
+			return writeErr(w, http.StatusBadRequest, fmt.Errorf("edge %d: %w", i, err))
+		}
+		edges[i] = e
+	}
+	res, err := s.UpdateBatch(edges)
+	if err != nil {
+		return writeErr(w, http.StatusUnprocessableEntity, err)
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+// resolveUpdateEdge validates one update input into a graph edge.
+func (st *state) resolveUpdateEdge(in updateEdgeInput) (graph.Edge, error) {
+	switch in.Op {
+	case "", "insert":
+	case "delete":
+		return graph.Edge{}, dynamic.ErrDeletionsUnsupported
+	default:
+		return graph.Edge{}, fmt.Errorf("unknown op %q (want \"insert\")", in.Op)
+	}
+	src, err := st.vertex(string(in.S))
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("s: %w", err)
+	}
+	dst, err := st.vertex(string(in.T))
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("t: %w", err)
+	}
+	lb, err := st.label(string(in.L))
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("l: %w", err)
+	}
+	return graph.Edge{Src: src, Dst: dst, Label: lb}, nil
+}
+
+// label resolves a label token: a numeric id, a display name, or the
+// "l<i>" spelling the expression syntax uses for unnamed labels. Range
+// violations wrap ErrUnknownLabel, the same sentinel the index uses, so
+// clients see one stable error code.
+func (st *state) label(tok string) (graph.Label, error) {
+	if tok == "" {
+		return 0, fmt.Errorf("%w: missing label", core.ErrUnknownLabel)
+	}
+	if id, err := strconv.Atoi(tok); err == nil {
+		if id < 0 || id >= st.g.NumLabels() {
+			return 0, fmt.Errorf("%w: label %d out of range [0, %d)", core.ErrUnknownLabel, id, st.g.NumLabels())
+		}
+		return graph.Label(id), nil
+	}
+	if l, ok := st.g.LabelByName(tok); ok {
+		return l, nil
+	}
+	if len(tok) > 1 && tok[0] == 'l' {
+		if id, err := strconv.Atoi(tok[1:]); err == nil {
+			if id >= 0 && id < st.g.NumLabels() {
+				return graph.Label(id), nil
+			}
+			return 0, fmt.Errorf("%w: label %s out of range [0, %d)", core.ErrUnknownLabel, tok, st.g.NumLabels())
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown label %q", core.ErrUnknownLabel, tok)
+}
+
+// rebuildResponse is the POST /rebuild reply.
+type rebuildResponse struct {
+	Epoch      uint64  `json:"epoch"`
+	Generation uint64  `json:"generation"`
+	Folded     int     `json:"folded"`
+	Journal    int     `json:"journal"`
+	Path       string  `json:"path,omitempty"`
+	Micros     float64 `json:"micros"`
+}
+
+// handleRebuild folds synchronously: the admin caller waits for the fold,
+// queries never do.
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) bool {
+	if !s.opts.Mutable {
+		return writeErr(w, http.StatusNotImplemented, errNotMutable)
+	}
+	res, err := s.Rebuild()
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, err)
+	}
+	return writeJSON(w, http.StatusOK, rebuildResponse{
+		Epoch:      res.Epoch,
+		Generation: res.Generation,
+		Folded:     res.Folded,
+		Journal:    res.Journal,
+		Path:       res.Path,
+		Micros:     float64(res.Duration.Nanoseconds()) / 1e3,
+	})
+}

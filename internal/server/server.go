@@ -10,10 +10,12 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/g-rpqs/rlc-go/internal/automaton"
 	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/dynamic"
 	"github.com/g-rpqs/rlc-go/internal/graph"
 	"github.com/g-rpqs/rlc-go/internal/hybrid"
 	"github.com/g-rpqs/rlc-go/internal/labelseq"
@@ -58,8 +60,40 @@ type Options struct {
 	// POST /reload and Server.Reload — typically by re-opening (and
 	// verifying) the bundle path the server was started from, which is
 	// exactly what rlcserve wires here. When nil, reloading is disabled
-	// and POST /reload answers 501.
+	// and POST /reload answers 501. Mutable servers reject reloads
+	// outright (an external bundle would silently drop journal edges);
+	// they evolve through folds instead.
 	SnapshotSource func() (*core.Snapshot, error)
+
+	// Mutable enables the write path: POST /update (and UpdateBatch)
+	// append edges to a per-generation delta overlay that every query
+	// consults, exactly and without blocking, and folds rebuild the base
+	// in the background (rlcserve -mutable).
+	Mutable bool
+
+	// RebuildThreshold is the journal length at which an update triggers
+	// a background fold-and-rebuild. Zero selects
+	// dynamic.DefaultRebuildThreshold; negative disables automatic folds
+	// (POST /rebuild, Server.Rebuild, or SIGUSR1 in rlcserve still fold
+	// on demand). Ignored unless Mutable.
+	RebuildThreshold int
+
+	// RebuildPath, when non-empty, makes every fold write a fresh v2
+	// snapshot bundle there (SaveSnapshotFile), re-open and verify it,
+	// and hot-swap the server onto the mapped bundle; when empty, folds
+	// swap in the heap-built index directly. Ignored unless Mutable.
+	RebuildPath string
+
+	// RebuildWorkers is the construction worker count for fold rebuilds
+	// (0 = GOMAXPROCS). The parallel build is deterministic, so the
+	// folded index is identical for every setting. Ignored unless
+	// Mutable.
+	RebuildWorkers int
+
+	// OnRebuild, when non-nil, observes every completed fold — background
+	// and explicit, including failed ones (Err set). It runs on the
+	// folding goroutine after the swap; keep it quick.
+	OnRebuild func(RebuildResult)
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +106,9 @@ func (o Options) withDefaults() Options {
 	o.CacheShards = nextPow2(o.CacheShards)
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.Mutable && o.RebuildThreshold == 0 {
+		o.RebuildThreshold = dynamic.DefaultRebuildThreshold
 	}
 	return o
 }
@@ -104,9 +141,23 @@ type Server struct {
 	opts  Options
 	start time.Time
 
-	// reloadMu serializes Reload calls so two concurrent reloads cannot
-	// interleave open-then-swap and leak a snapshot.
-	reloadMu sync.Mutex
+	// swapMu serializes every generation swap — reloads and folds — so two
+	// swappers cannot interleave open/build-then-swap and leak a snapshot.
+	swapMu sync.Mutex
+
+	// updateMu serializes writers with the fold's install step: an update
+	// appends to the pinned generation's overlay under it, and a fold
+	// holds it only while carrying the journal tail into the next
+	// generation — so no insert can slip between the carry-over and the
+	// swap and be lost. The read path never takes it.
+	updateMu sync.Mutex
+
+	// rebuilding dedups background fold goroutines; epoch counts
+	// completed folds across all generations.
+	rebuilding    atomic.Bool
+	epoch         atomic.Uint64
+	lastRebuildUS atomic.Int64
+	lastRebuildEr atomic.Pointer[string]
 
 	// batchBufs pools []core.BatchResult buffers so a steady stream of
 	// POST /batch requests goes through QueryBatchIntoCtx without
@@ -118,6 +169,8 @@ type Server struct {
 	mStats   histogram
 	mHealthz histogram
 	mReload  histogram
+	mUpdate  histogram
+	mRebuild histogram
 
 	// hs is created eagerly so a Shutdown that races ahead of Serve still
 	// marks the server closed (Serve then returns http.ErrServerClosed,
@@ -156,11 +209,14 @@ func (s *Server) Store() *Store { return s.store }
 // generation until they finish; a failed source leaves the server on its
 // current generation.
 func (s *Server) Reload() (uint64, error) {
+	if s.opts.Mutable {
+		return 0, errors.New("server: mutable servers do not reload external bundles (journal edges would be dropped); fold with Rebuild instead")
+	}
 	if s.opts.SnapshotSource == nil {
 		return 0, errors.New("server: no snapshot source configured; start from a bundle to enable reloads")
 	}
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
 	snap, err := s.opts.SnapshotSource()
 	if err != nil {
 		return 0, fmt.Errorf("server: reload: %w", err)
@@ -173,13 +229,17 @@ func (s *Server) Reload() (uint64, error) {
 //
 //	GET  /query?s=&t=&l=   one query; l is an expression ("(l0 l1)+", "a+ b+")
 //	POST /batch            {"queries":[{"s":0,"t":4,"l":"l0 l1"},...]}
-//	POST /reload           hot-swap the serving snapshot (when configured)
-//	GET  /stats            cache, latency, index and build statistics
-//	GET  /healthz          liveness
+//	POST /update           mutable servers: insert edges ({"s":0,"l":"l1","t":4} or {"edges":[...]})
+//	POST /rebuild          mutable servers: fold the journal into a rebuilt base, synchronously
+//	POST /reload           hot-swap the serving snapshot (immutable servers, when configured)
+//	GET  /stats            cache, latency, index, build, and write-path statistics
+//	GET  /healthz          liveness, with the serving generation and (mutable) epoch/journal
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", s.timed(&s.mQuery, s.handleQuery))
 	mux.HandleFunc("POST /batch", s.timed(&s.mBatch, s.handleBatch))
+	mux.HandleFunc("POST /update", s.timed(&s.mUpdate, s.handleUpdate))
+	mux.HandleFunc("POST /rebuild", s.timed(&s.mRebuild, s.handleRebuild))
 	mux.HandleFunc("POST /reload", s.timed(&s.mReload, s.handleReload))
 	mux.HandleFunc("GET /stats", s.timed(&s.mStats, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.timed(&s.mHealthz, s.handleHealthz))
@@ -256,26 +316,42 @@ func (s *Server) QueryRLC(ctx context.Context, src, dst graph.Vertex, l labelseq
 	return ok, err
 }
 
-// answerRLC is AnswerRLC against one pinned generation.
+// answerRLC is AnswerRLC against one pinned generation. The cache version
+// is read once at entry: any answer computed under it corresponds to a
+// graph state within this request's window, so serving it (or stamping it
+// into the cache) is linearizable even as inserts land concurrently.
 func (st *state) answerRLC(ctx context.Context, src, dst graph.Vertex, l labelseq.Seq) (reachable, cached bool, err error) {
 	if st.cache == nil {
 		reachable, err = st.computeSeq(ctx, src, dst, l)
 		return reachable, false, err
 	}
+	ver := st.ver.Load()
 	// A flight's result is broadcast to every coalesced waiter, so the
 	// leader must not abort on its own client's disconnect — that would
 	// fail healthy waiters with a spurious "canceled". Compute detached;
 	// the answer also warms the cache for the next request.
 	dctx := context.WithoutCancel(ctx)
 	compute := func() (bool, error) { return st.computeSeq(dctx, src, dst, l) }
-	return st.cache.do(st.seqKey(src, dst, l), compute)
+	return st.cache.do(st.seqKey(src, dst, l), ver, compute)
 }
 
-// computeSeq answers (src, dst, l+) on a cache miss: Index.Query when the
+// computeSeq answers (src, dst, l+) on a cache miss. Immutable generations
+// (and mutable ones with an empty journal — checking emptiness first is a
+// valid linearization point) go straight to the base: Index.Query when the
 // constraint is in the index's class, the pooled hybrid evaluator (which
-// falls back to NFA-guided traversal) otherwise.
+// falls back to NFA-guided traversal) otherwise. With journal edges
+// pending, the delta overlay answers: the index-accelerated delta search
+// for index-class constraints, the NFA product search over the union for
+// the rest.
 func (st *state) computeSeq(ctx context.Context, src, dst graph.Vertex, l labelseq.Seq) (bool, error) {
-	if len(l) > 0 && len(l) <= st.ix.K() && labelseq.IsPrimitive(l) {
+	indexClass := len(l) > 0 && len(l) <= st.ix.K() && labelseq.IsPrimitive(l)
+	if st.delta != nil && st.delta.JournalLen() > 0 {
+		if indexClass {
+			return st.delta.QueryRLC(ctx, src, dst, l)
+		}
+		return st.delta.EvalExprCtx(ctx, src, dst, automaton.Plus(l))
+	}
+	if indexClass {
 		return st.ix.QueryRLC(ctx, src, dst, l)
 	}
 	h := st.hybrids.Get().(*hybrid.Evaluator)
@@ -316,21 +392,28 @@ func (st *state) answerExpr(ctx context.Context, src, dst graph.Vertex, e automa
 		return st.answerRLC(ctx, src, dst, e.Segments[0].Labels)
 	}
 	if st.cache == nil {
-		h := st.hybrids.Get().(*hybrid.Evaluator)
-		defer st.hybrids.Put(h)
-		reachable, err = h.EvalCtx(ctx, src, dst, e)
+		reachable, err = st.computeExpr(ctx, src, dst, e)
 		return reachable, false, err
 	}
+	ver := st.ver.Load()
 	// Detached for the same reason as answerRLC: coalesced waiters share
 	// the leader's result.
 	dctx := context.WithoutCancel(ctx)
-	compute := func() (bool, error) {
-		h := st.hybrids.Get().(*hybrid.Evaluator)
-		defer st.hybrids.Put(h)
-		return h.EvalCtx(dctx, src, dst, e)
-	}
+	compute := func() (bool, error) { return st.computeExpr(dctx, src, dst, e) }
 	key := cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(e)}
-	return st.cache.do(key, compute)
+	return st.cache.do(key, ver, compute)
+}
+
+// computeExpr answers a multi-segment expression on a cache miss: the delta
+// overlay's exact NFA search when journal edges are pending, the pooled
+// hybrid evaluator over the base otherwise.
+func (st *state) computeExpr(ctx context.Context, src, dst graph.Vertex, e automaton.Expr) (bool, error) {
+	if st.delta != nil && st.delta.JournalLen() > 0 {
+		return st.delta.EvalExprCtx(ctx, src, dst, e)
+	}
+	h := st.hybrids.Get().(*hybrid.Evaluator)
+	defer st.hybrids.Put(h)
+	return h.EvalCtx(ctx, src, dst, e)
 }
 
 // canonicalExpr renders a parsed expression so that every spelling of the
@@ -517,6 +600,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
 		Count:   len(req.Queries),
 	}
 
+	// The cache version is read before the journal-emptiness check: if an
+	// insert lands after the check, answers computed from the base alone
+	// carry a stamp older than the insert's bump and are never served to
+	// later requests.
+	var ver uint64
+	if st.delta != nil {
+		ver = st.ver.Load()
+	}
+
+	// Generations with pending journal edges answer each query through the
+	// full serving path (cache, singleflight, delta overlay): the
+	// worker-pool fan-out below reads the base index only and would miss
+	// journal edges. With an empty journal the pool path is exact — the
+	// emptiness check is a valid linearization point — so read-mostly
+	// mutable servers keep the fan-out.
+	if st.delta != nil && st.delta.JournalLen() > 0 {
+		for i, in := range req.Queries {
+			src, dst, l, err := st.resolveBatchQuery(in)
+			if err != nil {
+				resp.Results[i] = batchQueryResult{Error: err.Error(), Code: errorCode(err)}
+				continue
+			}
+			reachable, cached, err := st.answerRLC(r.Context(), src, dst, l)
+			if err != nil {
+				resp.Results[i] = batchQueryResult{Error: err.Error(), Code: errorCode(err)}
+				continue
+			}
+			resp.Results[i] = batchQueryResult{Reachable: reachable}
+			if cached {
+				resp.Cached++
+			}
+		}
+		resp.Micros = float64(time.Since(start).Nanoseconds()) / 1e3
+		return writeJSON(w, http.StatusOK, resp)
+	}
+
 	// Resolve every query, peel off cache hits, and collect the misses
 	// into one sub-batch for the worker pool.
 	type miss struct {
@@ -535,7 +654,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
 		}
 		key := st.seqKey(src, dst, l)
 		if st.cache != nil {
-			if val, ok := st.cache.get(key); ok {
+			if val, ok := st.cache.get(key, ver); ok {
 				resp.Results[i] = batchQueryResult{Reachable: val}
 				resp.Cached++
 				continue
@@ -559,7 +678,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
 			}
 			resp.Results[m.pos] = batchQueryResult{Reachable: res.Reachable}
 			if st.cache != nil {
-				st.cache.put(m.key, res.Reachable)
+				st.cache.put(m.key, ver, res.Reachable)
 			}
 		}
 		s.batchBufs.Put(bufp)
@@ -619,6 +738,23 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) bool {
 	})
 }
 
+// MutableStats is the write-path section of GET /stats (and Server.
+// MutableStats): the current epoch, the pending journal, and fold history.
+type MutableStats struct {
+	// Epoch counts completed folds across the server's lifetime.
+	Epoch uint64 `json:"epoch"`
+	// Journal is the number of inserted edges not yet folded into the base.
+	Journal int `json:"journal"`
+	// Writes counts accepted edge inserts across all epochs.
+	Writes uint64 `json:"writes"`
+	// LastRebuildMicros is the duration of the most recent fold (0 before
+	// the first).
+	LastRebuildMicros float64 `json:"last_rebuild_micros,omitempty"`
+	// LastRebuildError is the most recent fold failure ("" when the last
+	// fold succeeded).
+	LastRebuildError string `json:"last_rebuild_error,omitempty"`
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -627,7 +763,35 @@ type statsResponse struct {
 	Index         core.Stats               `json:"index"`
 	Build         *core.BuildStats         `json:"build,omitempty"`
 	Cache         *CacheStats              `json:"cache,omitempty"`
+	Mutable       *MutableStats            `json:"mutable,omitempty"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// MutableStats snapshots the write path (the zero value when the server is
+// immutable or closed).
+func (s *Server) MutableStats() MutableStats {
+	if !s.opts.Mutable {
+		return MutableStats{}
+	}
+	st := s.store.acquire()
+	if st == nil {
+		return MutableStats{}
+	}
+	defer st.release()
+	return s.mutableStats(st)
+}
+
+func (s *Server) mutableStats(st *state) MutableStats {
+	ms := MutableStats{
+		Epoch:             s.epoch.Load(),
+		Journal:           st.delta.JournalLen(),
+		Writes:            s.store.writes.Load(),
+		LastRebuildMicros: float64(s.lastRebuildUS.Load()),
+	}
+	if e := s.lastRebuildEr.Load(); e != nil {
+		ms.LastRebuildError = *e
+	}
+	return ms
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
@@ -645,6 +809,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
 		Endpoints: map[string]EndpointStats{
 			"query":   s.mQuery.snapshot(),
 			"batch":   s.mBatch.snapshot(),
+			"update":  s.mUpdate.snapshot(),
+			"rebuild": s.mRebuild.snapshot(),
 			"reload":  s.mReload.snapshot(),
 			"stats":   s.mStats.snapshot(),
 			"healthz": s.mHealthz.snapshot(),
@@ -654,14 +820,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
 		cst := st.cache.stats()
 		resp.Cache = &cst
 	}
+	if st.delta != nil {
+		ms := s.mutableStats(st)
+		resp.Mutable = &ms
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
+// healthzResponse is the GET /healthz reply: liveness plus the minimum a
+// probe needs to watch an epoch roll over without parsing full /stats.
+type healthzResponse struct {
+	Status     string  `json:"status"`
+	Generation uint64  `json:"generation"`
+	Epoch      *uint64 `json:"epoch,omitempty"`
+	Journal    *int    `json:"journal,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
-	return true
+	st := s.store.acquire()
+	if st == nil {
+		return writeError(w, http.StatusServiceUnavailable, "server closed")
+	}
+	defer st.release()
+	resp := healthzResponse{Status: "ok", Generation: st.gen}
+	if st.delta != nil {
+		epoch := s.epoch.Load()
+		journal := st.delta.JournalLen()
+		resp.Epoch = &epoch
+		resp.Journal = &journal
+	}
+	return writeJSON(w, http.StatusOK, resp)
 }
 
 type errorResponse struct {
@@ -692,6 +880,10 @@ func errorCode(err error) string {
 		return "unknown_label"
 	case errors.Is(err, core.ErrEmptyConstraint):
 		return "empty_constraint"
+	case errors.Is(err, dynamic.ErrDeletionsUnsupported):
+		return "deletions_unsupported"
+	case errors.Is(err, errNotMutable):
+		return "immutable"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "canceled"
 	default:

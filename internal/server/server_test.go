@@ -364,10 +364,18 @@ func TestHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
+	var hz struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+		Epoch      *int   `json:"epoch"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hz)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
-		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	if err != nil || resp.StatusCode != http.StatusOK || hz.Status != "ok" || hz.Generation != 1 {
+		t.Fatalf("healthz: %d %+v (%v)", resp.StatusCode, hz, err)
+	}
+	if hz.Epoch != nil {
+		t.Fatalf("immutable server reported a write-path epoch: %+v", hz)
 	}
 }
 

@@ -6,16 +6,21 @@ import (
 	"sync/atomic"
 
 	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/dynamic"
 	"github.com/g-rpqs/rlc-go/internal/graph"
 	"github.com/g-rpqs/rlc-go/internal/hybrid"
 )
 
 // state is one immutable serving generation: an index, its graph, the
-// per-generation result cache and hybrid-evaluator pool, and — when the
+// per-generation result cache and hybrid-evaluator pool, the delta overlay
+// accepting writes against this base (mutable servers only), and — when the
 // generation came from a snapshot bundle — the mapping that backs it all.
 // Everything that must change together on a hot reload lives here, so a
 // query pins one coherent generation for its whole lifetime and can never
-// observe a new index through an old cache (or vice versa).
+// observe a new index through an old cache (or vice versa). The overlay
+// belongs to the generation because its lock-free readers hold references
+// into the base index: pinning the generation is what keeps a mid-query
+// hot swap from unmapping the snapshot under the delta search.
 type state struct {
 	ix     *core.Index
 	g      *graph.Graph
@@ -24,6 +29,16 @@ type state struct {
 	build  *core.BuildStats
 	gen    uint64
 	source string // human-readable origin for /stats
+
+	// delta is the write overlay for this generation's base (nil on
+	// immutable servers). A fold builds the next generation's base from
+	// base ∪ journal and seeds a fresh overlay with the un-folded tail.
+	delta *dynamic.DeltaGraph
+
+	// ver points at the store-wide insert counter; cache entries are
+	// stamped with it so one insert logically invalidates every negative
+	// entry (see cache.do). Always 0 on immutable servers.
+	ver *atomic.Uint64
 
 	// hybrids pools hybrid evaluators: they carry per-traversal scratch
 	// sized by the graph and are not safe for concurrent use.
@@ -65,12 +80,17 @@ type Store struct {
 	mu     sync.Mutex // serializes swaps
 	gen    uint64     // last generation handed out; guarded by mu
 	closed bool       // guarded by mu; a closed store stays closed
+
+	// writes counts accepted edge inserts across all generations — the
+	// version source for cache stamping. Monotone for the store's life, so
+	// stamps never collide across epochs.
+	writes atomic.Uint64
 }
 
 // NewStore returns a store serving ix (a heap-built index, generation 1).
 func NewStore(ix *core.Index, opts Options) *Store {
 	s := &Store{opts: opts.withDefaults()}
-	s.install(s.newState(ix, nil, opts.BuildStats, "built in-process"))
+	s.install(s.newState(ix, nil, opts.BuildStats, "built in-process", s.newDelta(ix, nil)))
 	return s
 }
 
@@ -79,8 +99,26 @@ func NewStore(ix *core.Index, opts Options) *Store {
 // retired (by a later Swap) or by Close.
 func NewStoreFromSnapshot(snap *core.Snapshot, opts Options) *Store {
 	s := &Store{opts: opts.withDefaults()}
-	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap)))
+	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap), s.newDelta(snap.Index(), nil)))
 	return s
+}
+
+// newDelta builds the write overlay for a generation around ix, seeded with
+// journal (un-folded edges carried over from the previous epoch). Returns
+// nil on immutable stores. The overlay's own automatic rebuild is disabled:
+// the serving layer folds, because its folds also write bundles and swap
+// generations.
+func (s *Store) newDelta(ix *core.Index, journal []graph.Edge) *dynamic.DeltaGraph {
+	if !s.opts.Mutable {
+		return nil
+	}
+	d, err := dynamic.NewWithJournal(ix.Graph(), ix, dynamic.Options{RebuildThreshold: -1}, journal)
+	if err != nil {
+		// Carried-over edges were validated against the same vertex/label
+		// universe when first accepted; a fold never shrinks it.
+		panic("server: carried-over journal failed revalidation: " + err.Error())
+	}
+	return d
 }
 
 func snapshotSource(snap *core.Snapshot) string {
@@ -94,13 +132,15 @@ func snapshotSource(snap *core.Snapshot) string {
 // pool. A fresh cache is not an optimization detail: results cached against
 // the old index may be wrong for the new one, so cache lifetime is bounded
 // by generation lifetime.
-func (s *Store) newState(ix *core.Index, src io.Closer, build *core.BuildStats, source string) *state {
+func (s *Store) newState(ix *core.Index, src io.Closer, build *core.BuildStats, source string, delta *dynamic.DeltaGraph) *state {
 	st := &state{
 		ix:     ix,
 		g:      ix.Graph(),
 		src:    src,
 		build:  build,
 		source: source,
+		delta:  delta,
+		ver:    &s.writes,
 	}
 	if s.opts.CacheEntries > 0 {
 		st.cache = newCache(s.opts.CacheEntries, s.opts.CacheShards)
@@ -153,7 +193,7 @@ func (s *Store) acquire() *state {
 
 // SwapIndex atomically replaces the served index with a heap-built one.
 func (s *Store) SwapIndex(ix *core.Index) {
-	s.install(s.newState(ix, nil, nil, "built in-process"))
+	s.install(s.newState(ix, nil, nil, "built in-process", s.newDelta(ix, nil)))
 }
 
 // SwapSnapshot atomically replaces the served generation with an open
@@ -163,7 +203,17 @@ func (s *Store) SwapIndex(ix *core.Index) {
 // the swap itself is deliberately unconditional, so policy stays with the
 // caller (rlcserve verifies; a trusted pipeline may skip it).
 func (s *Store) SwapSnapshot(snap *core.Snapshot) {
-	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap)))
+	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap), s.newDelta(snap.Index(), nil)))
+}
+
+// SwapFolded publishes a post-fold generation: the index rebuilt over
+// base ∪ journal (optionally backed by a freshly written snapshot bundle,
+// which the store takes ownership of) and a delta overlay seeded with the
+// un-folded journal tail. It rides the same drain path as SwapSnapshot:
+// queries pinned to the pre-fold generation finish against it — overlay,
+// cache, mapping and all — before its snapshot is released.
+func (s *Store) SwapFolded(ix *core.Index, src io.Closer, journal []graph.Edge, source string) {
+	s.install(s.newState(ix, src, nil, source, s.newDelta(ix, journal)))
 }
 
 // Index returns the currently served index without pinning it — for

@@ -98,6 +98,28 @@
 // generation it started on, new queries see the new snapshot immediately,
 // and the old mapping is released only after its last reader drains.
 //
+// # Live updates
+//
+// A server started with ServerOptions.Mutable also takes writes — the
+// read/write epoch pipeline (rlcserve -mutable):
+//
+//	srv := rlc.NewServer(ix, rlc.ServerOptions{Mutable: true})
+//	srv.UpdateBatch([]rlc.Edge{{Src: 7, Dst: 9, Label: 1}}) // or POST /update
+//
+// Inserted edges land in a per-generation journal that every query consults
+// exactly and without locking (answers may only flip false→true: the write
+// path is insert-only, deletions are rejected). When the journal crosses
+// ServerOptions.RebuildThreshold — or on Server.Rebuild / POST /rebuild /
+// SIGUSR1 — a background goroutine folds base ∪ journal, reruns the
+// deterministic parallel build, optionally writes a fresh v2 bundle
+// (ServerOptions.RebuildPath), and hot-swaps the new epoch through the
+// same Store drain path as a reload, carrying over edges inserted while it
+// ran. Queries never block on a fold and answers stay exact across the
+// swap; the result cache invalidates its negative entries on every write
+// and survives wholesale only until the epoch rolls (cached TRUEs remain
+// valid throughout — monotonicity again). ServerOptions.OnRebuild observes
+// every fold; /stats and /healthz expose the epoch and journal length.
+//
 // The Querier interface (QueryRLC) is the common read surface of *Index,
 // *HybridEvaluator, and *Server, so read-only code can swap layers freely;
 // context.Context runs through it, QueryBatchCtx, and every server handler.
@@ -209,6 +231,7 @@ var (
 	_ Querier = (*Index)(nil)
 	_ Querier = (*HybridEvaluator)(nil)
 	_ Querier = (*Server)(nil)
+	_ Querier = (*DeltaGraph)(nil)
 )
 
 // DefaultK is the recursive k used when Options.K is zero.
@@ -411,12 +434,18 @@ func GenerateBA(n, m, numLabels int, seed int64) (*Graph, error) {
 
 // Dynamic-graph extension: the paper's index is static; DeltaGraph overlays
 // edge insertions with exact, index-accelerated query answers and
-// threshold-based rebuilds (see internal/dynamic).
+// epoch-based background rebuilds (see internal/dynamic).
 type (
-	// DeltaGraph is an RLC-indexed graph accepting edge insertions.
+	// DeltaGraph is an RLC-indexed graph accepting edge insertions. It is
+	// safe for concurrent use: queries take no locks and never block on
+	// (or perform) a rebuild; crossing DeltaOptions.RebuildThreshold
+	// triggers a background fold into a fresh epoch.
 	DeltaGraph = dynamic.DeltaGraph
 	// DeltaOptions configures a DeltaGraph.
 	DeltaOptions = dynamic.Options
+	// FoldStats describes one completed DeltaGraph fold-and-rebuild,
+	// delivered to DeltaOptions.OnFold.
+	FoldStats = dynamic.FoldStats
 )
 
 // ErrDeletionsUnsupported is returned by DeltaGraph.RemoveEdge.
@@ -450,8 +479,20 @@ type (
 	// currently served snapshot for each in-flight query and swaps in
 	// replacements atomically, retiring the old snapshot only after its
 	// last reader drains — the zero-downtime hot-reload primitive behind
-	// rlcserve's SIGHUP and POST /reload.
+	// rlcserve's SIGHUP and POST /reload, and the drain path every
+	// mutable-server fold hot-swaps through.
 	Store = server.Store
+	// UpdateResult reports one accepted Server.UpdateBatch (POST /update)
+	// call: edges appended, journal length, epoch, and whether the batch
+	// triggered a background fold.
+	UpdateResult = server.UpdateResult
+	// RebuildResult reports one completed server fold-and-rebuild —
+	// returned by Server.Rebuild and delivered to ServerOptions.OnRebuild
+	// (with Err set on failures).
+	RebuildResult = server.RebuildResult
+	// MutableServerStats is the write-path section of a mutable server's
+	// /stats: epoch, journal length, accepted writes, and fold telemetry.
+	MutableServerStats = server.MutableStats
 )
 
 // DefaultCacheEntries is the server's result-cache capacity when
