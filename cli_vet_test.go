@@ -1,0 +1,137 @@
+package rlc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// rlcvet takes positional package patterns, so it cannot ride in cliTools
+// (whose conformance loop requires tools to reject stray positionals). This
+// file holds it to the same usage contract minus that check, plus the
+// vet-specific surfaces: -list, the vettool version handshake, and the
+// standalone analysis modes' exit codes.
+
+const rlcvetSynopsis = "rlcvet — static analysis enforcing rlc-go's pin, zero-copy view, noalloc, and error-code invariants"
+
+func TestCLIVetUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI vet test skipped in -short mode")
+	}
+	bin := buildTool(t, t.TempDir(), "rlcvet")
+
+	out, err := exec.Command(bin, "-h").CombinedOutput()
+	if err != nil {
+		t.Errorf("rlcvet -h exited non-zero: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, rlcvetSynopsis) {
+		t.Errorf("rlcvet -h lacks its synopsis:\n%s", text)
+	}
+	if !strings.Contains(text, "usage: rlcvet") {
+		t.Errorf("rlcvet -h lacks a usage line:\n%s", text)
+	}
+	if !strings.Contains(text, "flags:") {
+		t.Errorf("rlcvet -h lacks the flag list:\n%s", text)
+	}
+
+	out, err = exec.Command(bin, "-no-such-flag").CombinedOutput()
+	if err == nil {
+		t.Errorf("rlcvet accepted an unknown flag; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "usage: rlcvet") {
+		t.Errorf("rlcvet unknown-flag output lacks usage:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Errorf("rlcvet -list exited non-zero: %v\n%s", err, out)
+	}
+	for _, name := range []string{"pinrelease", "viewescape", "noalloc", "errcode"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("rlcvet -list omits analyzer %s:\n%s", name, out)
+		}
+	}
+
+	// The go vet -vettool handshake: any -V invocation must print a version
+	// line and exit zero without analyzing anything.
+	out, err = exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Errorf("rlcvet -V=full exited non-zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "rlcvet version") {
+		t.Errorf("rlcvet -V=full lacks the version handshake:\n%s", out)
+	}
+}
+
+// TestCLIVetFindings runs the standalone mode end to end against a throwaway
+// module seeded with one pin leak, expecting exit code 1 and a pinrelease
+// diagnostic — and then against the same module with the leak fixed,
+// expecting a silent exit 0.
+func TestCLIVetFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI vet test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "rlcvet")
+
+	mod := filepath.Join(dir, "mod")
+	if err := os.MkdirAll(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module vetprobe\n\ngo 1.24\n")
+	writeFile("probe.go", `package vetprobe
+
+type store struct{ n int }
+
+//rlc:acquire
+func (s *store) acquire() *store { s.n++; return s }
+
+//rlc:release
+func (s *store) release() { s.n-- }
+
+func Leak(s *store) int {
+	st := s.acquire()
+	return st.n
+}
+`)
+
+	out, err := exec.Command(bin, "-C", mod, ".").CombinedOutput()
+	if err == nil {
+		t.Fatalf("rlcvet exited zero on a seeded pin leak; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("rlcvet on a seeded leak: want exit code 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "pinrelease") || !strings.Contains(string(out), "leak") {
+		t.Errorf("rlcvet output lacks the pinrelease leak diagnostic:\n%s", out)
+	}
+
+	writeFile("probe.go", `package vetprobe
+
+type store struct{ n int }
+
+//rlc:acquire
+func (s *store) acquire() *store { s.n++; return s }
+
+//rlc:release
+func (s *store) release() { s.n-- }
+
+func Leak(s *store) int {
+	st := s.acquire()
+	defer st.release()
+	return st.n
+}
+`)
+	if out, err := exec.Command(bin, "-C", mod, ".").CombinedOutput(); err != nil {
+		t.Errorf("rlcvet exited non-zero on a clean module: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks testdata/src/<name> packages into a
+// Program, in the order given (earlier packages may be imported by later
+// ones under their bare name). Standard-library imports resolve from GOROOT
+// source.
+func loadFixture(t *testing.T, names ...string) *Program {
+	t.Helper()
+	prog := &Program{
+		Fset:     token.NewFileSet(),
+		Packages: make(map[string]*Package),
+	}
+	stdlib := sourceImporter(prog.Fset)
+	for _, name := range names {
+		dir := filepath.Join("testdata", "src", name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", name, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse fixture %s: %v", e.Name(), err)
+			}
+			files = append(files, f)
+		}
+		imp := func(path string) *types.Package {
+			if dep := prog.Packages[path]; dep != nil {
+				return dep.Types
+			}
+			if p, err := stdlib.Import(path); err == nil {
+				return p
+			}
+			return nil
+		}
+		tpkg, info, errs := typecheck(prog.Fset, name, files, importerFunc(imp))
+		if len(errs) > 0 {
+			t.Fatalf("typecheck fixture %s: %v", name, errs[0])
+		}
+		pkg := &Package{Path: name, Name: name, Files: files, Types: tpkg, Info: info, Target: true}
+		prog.Packages[name] = pkg
+		prog.Targets = append(prog.Targets, pkg)
+	}
+	return prog
+}
+
+// expectation is one `// want "regex"` comment: a diagnostic must match it
+// at the same file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// wantRE matches one pattern after `// want`: either a double-quoted Go
+// string or a backquoted raw string.
+var wantRE = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants scans every fixture file for `// want "..." ["..."]...`
+// comments.
+func collectWants(t *testing.T, prog *Program) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					const marker = "// want "
+					i := strings.Index(c.Text, marker)
+					if i < 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text[i+len(marker):], -1) {
+						pat := m[1] // backquoted: raw
+						if pat == "" {
+							var err error
+							if pat, err = strconv.Unquote(m[0]); err != nil {
+								t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, m[0], err)
+							}
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads the named fixture packages, runs one analyzer, and
+// matches every diagnostic against the `// want` expectations (and vice
+// versa), reporting any mismatch.
+func runFixture(t *testing.T, a *Analyzer, names ...string) {
+	t.Helper()
+	prog := loadFixture(t, names...)
+	diags, err := prog.Run([]*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, prog)
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			pos := prog.Fset.Position(d.Pos)
+			t.Logf("diagnostic: %s:%d: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestFixtureWantSyntax guards the harness itself: a want comment with a bad
+// regexp must fail fast rather than silently match nothing.
+func TestFixtureWantSyntax(t *testing.T) {
+	if wantRE.FindString(`"a\"b"`) != `"a\"b"` {
+		t.Fatal("wantRE does not handle escaped quotes")
+	}
+	if _, err := strconv.Unquote(wantRE.FindString(fmt.Sprintf("%q", `pin "x"`))); err != nil {
+		t.Fatalf("unquote round-trip: %v", err)
+	}
+}

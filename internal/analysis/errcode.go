@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCode enforces exhaustiveness of the sentinel-to-wire-code mapping: the
+// function annotated //rlc:errcode must test (via errors.Is or direct ==
+// comparison) every error sentinel the package surfaces. The required set is
+//
+//   - every package-level error-typed variable of the mapping function's own
+//     package, and
+//   - every exported package-level `Err*` error variable of the non-stdlib
+//     packages it imports,
+//
+// minus sentinels annotated //rlc:errcode-exempt. A sentinel missing from
+// the mapping would reach clients as a catch-all internal error with no
+// machine-readable code.
+var ErrCode = &Analyzer{
+	Name: "errcode",
+	Doc: "check that the //rlc:errcode mapping function handles every error " +
+		"sentinel surfaced by its package and its non-stdlib imports",
+	Run: runErrCode,
+}
+
+func runErrCode(pass *Pass) error {
+	dirs := pass.Prog.Directives()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if dirs.Of(pass.Pkg.Info.Defs[fn.Name])&dirErrCode == 0 {
+				continue
+			}
+			checkErrCodeFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkErrCodeFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	dirs := pass.Prog.Directives()
+
+	// Sentinels the mapping function already tests.
+	mapped := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee, ok := calleeOf(info, n).(*types.Func); ok &&
+				callee.Pkg() != nil && callee.Pkg().Path() == "errors" && callee.Name() == "Is" &&
+				len(n.Args) == 2 {
+				if v := sentinelOf(info, n.Args[1]); v != nil {
+					mapped[v] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			// Direct comparison `err == ErrX` counts as a mapping too.
+			if v := sentinelOf(info, n.X); v != nil {
+				mapped[v] = true
+			}
+			if v := sentinelOf(info, n.Y); v != nil {
+				mapped[v] = true
+			}
+		}
+		return true
+	})
+
+	report := func(v *types.Var, qualified string, samePkg bool) {
+		if dirs.Of(v)&dirErrCodeExempt != 0 || mapped[v] {
+			return
+		}
+		if samePkg {
+			pass.Reportf(v.Pos(), "error sentinel %s is not mapped to a machine-readable code in %s (add an errors.Is case or annotate //rlc:errcode-exempt)", qualified, fn.Name.Name)
+		} else {
+			pass.Reportf(fn.Pos(), "error sentinel %s is not mapped to a machine-readable code in %s (add an errors.Is case or annotate //rlc:errcode-exempt)", qualified, fn.Name.Name)
+		}
+	}
+
+	// Required set 1: every package-level error variable of this package.
+	for _, v := range sentinelVars(pass.Pkg.Types, false) {
+		report(v, v.Name(), true)
+	}
+	// Required set 2: exported Err* sentinels of imported source packages.
+	for _, imp := range pass.Pkg.Types.Imports() {
+		dep := pass.Prog.SourcePackage(imp.Path())
+		if dep == nil || dep.Standard {
+			continue
+		}
+		for _, v := range sentinelVars(imp, true) {
+			report(v, imp.Name()+"."+v.Name(), false)
+		}
+	}
+}
+
+// sentinelVars returns the package-level error-typed variables of pkg, in
+// declaration order. When exportedErrOnly is set, only exported variables
+// named Err* qualify (the cross-package contract).
+func sentinelVars(pkg *types.Package, exportedErrOnly bool) []*types.Var {
+	scope := pkg.Scope()
+	var out []*types.Var
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !isErrorType(v.Type()) {
+			continue
+		}
+		if exportedErrOnly && (!v.Exported() || !strings.HasPrefix(v.Name(), "Err")) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// sentinelOf resolves expr to a package-level error variable, nil otherwise.
+func sentinelOf(info *types.Info, expr ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !isErrorType(v.Type()) {
+		return nil
+	}
+	if v.Parent() == nil || v.Parent().Parent() != types.Universe {
+		return nil // not package scope
+	}
+	return v
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

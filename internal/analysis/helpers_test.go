@@ -1,0 +1,16 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot locates the module root from the test's working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

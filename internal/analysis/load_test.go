@@ -1,0 +1,23 @@
+package analysis
+
+import "testing"
+
+// TestLoadModule type-checks the whole module (and its stdlib dependency
+// closure) from source — the foundation every analyzer stands on.
+func TestLoadModule(t *testing.T) {
+	prog, err := Load(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Targets) < 10 {
+		t.Fatalf("expected the full module as targets, got %d packages", len(prog.Targets))
+	}
+	for _, p := range prog.Targets {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.Path, p.TypeErrors)
+		}
+		if p.Info == nil || p.Types == nil {
+			t.Errorf("%s: missing type information", p.Path)
+		}
+	}
+}

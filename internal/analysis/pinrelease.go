@@ -1,0 +1,594 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinRelease enforces RCU pin/release pairing: every value produced by an
+// //rlc:acquire function must be dropped by exactly one //rlc:release call
+// on every control-flow path out of the acquiring function — including the
+// panic edges of intervening calls, which only a deferred release covers.
+//
+// The rules, per acquired pin:
+//
+//   - returning (or falling off the end, or panicking) while the pin is
+//     held and no release is deferred is a leak;
+//   - releasing twice — explicitly after an explicit release, explicitly
+//     after a deferred one, or deferring two releases — is a double release;
+//   - an explicit (non-deferred) release that has any function call between
+//     acquire and release leaks on that call's panic edge and is flagged:
+//     scope the pin with `defer` in a small helper instead;
+//   - a deferred release registered inside a loop only runs at function
+//     exit, so per-iteration pins accumulate — flagged;
+//   - passing the pin to another function, returning it, or storing it
+//     transfers ownership and ends local tracking (the `if st == nil`
+//     guard idiom is understood: the nil branch holds no pin).
+var PinRelease = &Analyzer{
+	Name: "pinrelease",
+	Doc: "check that every //rlc:acquire pin is released exactly once on all " +
+		"control-flow paths, deferred across any call that could panic",
+	Run: runPinRelease,
+}
+
+func runPinRelease(pass *Pass) error {
+	dirs := pass.Prog.Directives()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					// Skip the release/acquire primitives themselves: their
+					// bodies manipulate refcounts below the pin abstraction.
+					if obj := pass.Pkg.Info.Defs[fn.Name]; obj != nil && dirs.Of(obj)&(dirAcquire|dirRelease) != 0 {
+						return false
+					}
+					newPinWalker(pass).walkFunc(fn.Body)
+				}
+				return false // walkFunc descends into nested FuncLits itself
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pinMask is the set of states a pin may be in on the paths reaching a
+// program point.
+type pinMask uint8
+
+const (
+	pinNil         pinMask = 1 << iota // acquire returned nil on this path
+	pinHeld                            // held, release not yet arranged
+	pinDeferred                        // a deferred release covers every exit
+	pinReleased                        // explicitly released
+	pinTransferred                     // ownership handed to another function
+)
+
+// pin is one tracked acquire-call result.
+type pin struct {
+	name        string    // variable name, for messages
+	acquirePos  token.Pos // the acquire call
+	acquireLine int
+	loopDepth   int // loop nesting at the acquire site
+	// riskyCalls counts calls evaluated while the pin was held with no
+	// deferred release: each one is a panic edge the pin leaks on.
+	riskyCalls int
+}
+
+// pinState maps every live pin to its path-merged state mask.
+type pinState map[*pin]pinMask
+
+func cloneState(st pinState) pinState {
+	out := make(pinState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+type pinWalker struct {
+	pass      *Pass
+	info      *types.Info
+	dirs      *directiveIndex
+	binding   map[*types.Var]*pin // current variable -> pin aliases
+	loopDepth int
+}
+
+func newPinWalker(pass *Pass) *pinWalker {
+	return &pinWalker{
+		pass:    pass,
+		info:    pass.Pkg.Info,
+		dirs:    pass.Prog.Directives(),
+		binding: make(map[*types.Var]*pin),
+	}
+}
+
+// walkFunc analyzes one function body in isolation.
+func (w *pinWalker) walkFunc(body *ast.BlockStmt) {
+	st := make(pinState)
+	terminated := w.stmts(body.List, st)
+	if !terminated {
+		w.checkExit(st, body.Rbrace, "function exit")
+	}
+}
+
+// checkExit reports every pin still (possibly) held at an exit point.
+func (w *pinWalker) checkExit(st pinState, pos token.Pos, where string) {
+	for p, mask := range st {
+		if mask&pinHeld != 0 {
+			w.pass.Reportf(pos, "pin %q (acquired at line %d) is not released on this path to %s: leak",
+				p.name, p.acquireLine, where)
+			st[p] = mask &^ pinHeld // one report per escape route, not per later return
+		}
+	}
+}
+
+func (w *pinWalker) stmts(list []ast.Stmt, st pinState) (terminated bool) {
+	for _, s := range list {
+		if terminated {
+			return true // unreachable code: stop tracking
+		}
+		terminated = w.stmt(s, st)
+	}
+	return terminated
+}
+
+func (w *pinWalker) stmt(s ast.Stmt, st pinState) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						w.scanExpr(val, st)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.exprStmt(s.X, st)
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+	case *ast.GoStmt:
+		// A goroutine capturing or receiving the pin owns it now.
+		w.transferAll(s.Call, st)
+		w.scanExpr(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.scanExpr(res, st)
+			if p := w.pinOf(res); p != nil {
+				st[p] = pinTransferred // caller inherits the pin
+			}
+		}
+		w.checkExit(st, s.Pos(), "return")
+		return true
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, st)
+		}
+		w.loopDepth++
+		body := cloneState(st)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		w.loopDepth--
+		mergeState(st, body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		w.loopDepth++
+		body := cloneState(st)
+		w.stmts(s.Body.List, body)
+		w.loopDepth--
+		mergeState(st, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, st)
+		}
+		return w.caseBodies(s.Body, st, hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		return w.caseBodies(s.Body, st, hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		return w.caseBodies(s.Body, st, false)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; the pin either stays live in
+		// the enclosing loop state (already merged) or reaches a return that
+		// performs its own check.
+		return true
+	case *ast.SendStmt:
+		w.scanExpr(s.Value, st)
+		if p := w.pinOf(s.Value); p != nil {
+			st[p] = pinTransferred
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, st)
+	}
+	return false
+}
+
+// assign handles pin creation (v := acquire()), aliasing, and stores.
+func (w *pinWalker) assign(s *ast.AssignStmt, st pinState) {
+	for _, rhs := range s.Rhs {
+		w.scanExpr(rhs, st)
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			lhsVar := localVar(w.info, s.Lhs[i])
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && w.isAcquire(call) {
+				p := &pin{
+					name:        exprName(s.Lhs[i]),
+					acquirePos:  call.Pos(),
+					acquireLine: w.pass.Fset.Position(call.Pos()).Line,
+					loopDepth:   w.loopDepth,
+				}
+				if lhsVar != nil {
+					if old := w.binding[lhsVar]; old != nil && st[old]&pinHeld != 0 {
+						w.pass.Reportf(call.Pos(), "pin %q reassigned while still held: previous pin (line %d) leaks",
+							p.name, old.acquireLine)
+						st[old] &^= pinHeld
+					}
+					w.binding[lhsVar] = p
+					st[p] = pinHeld
+				} else {
+					// Stored straight into a field/global/...: transferred.
+					_ = p
+				}
+				continue
+			}
+			// Alias: w := v keeps both names on one pin.
+			if p := w.pinOf(rhs); p != nil {
+				if lhsVar != nil {
+					w.binding[lhsVar] = p
+				} else {
+					st[p] = pinTransferred // stored out of the local frame
+				}
+			}
+		}
+	} else {
+		// v, ok := f() style with a pin on the right, or pins stored into
+		// multi-assign targets: treat any pin operand as transferred.
+		for _, rhs := range s.Rhs {
+			if p := w.pinOf(rhs); p != nil {
+				st[p] = pinTransferred
+			}
+		}
+	}
+}
+
+// exprStmt handles a statement-level expression: the release call itself,
+// an acquire whose result is dropped, and risky-call accounting.
+func (w *pinWalker) exprStmt(x ast.Expr, st pinState) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		w.scanExpr(x, st)
+		return
+	}
+	if p := w.releaseTarget(call); p != nil {
+		w.scanCallArgs(call, st)
+		w.release(p, call.Pos(), st)
+		return
+	}
+	if w.isAcquire(call) {
+		w.pass.Reportf(call.Pos(), "result of acquire is dropped: the pin can never be released")
+		w.scanCallArgs(call, st)
+		return
+	}
+	w.scanExpr(x, st)
+}
+
+// release transitions p at an explicit (non-deferred) release site.
+func (w *pinWalker) release(p *pin, pos token.Pos, st pinState) {
+	mask := st[p]
+	switch {
+	case mask&pinReleased != 0:
+		w.pass.Reportf(pos, "pin %q (acquired at line %d) released twice on this path: double release", p.name, p.acquireLine)
+	case mask&pinDeferred != 0:
+		w.pass.Reportf(pos, "pin %q (acquired at line %d) released explicitly after a deferred release: double release", p.name, p.acquireLine)
+	case p.loopDepth < w.loopDepth:
+		w.pass.Reportf(pos, "pin %q acquired outside this loop is released inside it: double release after one iteration", p.name)
+	case mask&pinHeld != 0 && p.riskyCalls > 0:
+		w.pass.Reportf(pos, "pin %q (acquired at line %d) released without defer across %d intervening call(s): a panic in any of them leaks the pin — scope the pin with `defer` in a helper",
+			p.name, p.acquireLine, p.riskyCalls)
+	}
+	st[p] = (mask &^ pinHeld) | pinReleased
+}
+
+// deferStmt handles `defer v.release()` and deferred closures releasing v.
+func (w *pinWalker) deferStmt(s *ast.DeferStmt, st pinState) {
+	w.scanCallArgs(s.Call, st)
+	target := w.releaseTarget(s.Call)
+	if target == nil {
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			target = w.releasedInLit(lit)
+		}
+	}
+	if target == nil {
+		// Deferring any other call transfers a pin argument (common pattern:
+		// defer cleanup(st)); the deferred call runs on every exit.
+		w.transferAll(s.Call, st)
+		return
+	}
+	mask := st[target]
+	switch {
+	case mask&pinDeferred != 0:
+		w.pass.Reportf(s.Pos(), "pin %q (acquired at line %d) has two deferred releases: double release", target.name, target.acquireLine)
+	case mask&pinReleased != 0:
+		w.pass.Reportf(s.Pos(), "pin %q (acquired at line %d) already released before this deferred release: double release", target.name, target.acquireLine)
+	case w.loopDepth > target.loopDepth:
+		w.pass.Reportf(s.Pos(), "pin %q acquired outside this loop gets a deferred release inside it: one release per iteration for a single pin", target.name)
+	case w.loopDepth > 0:
+		w.pass.Reportf(s.Pos(), "deferred release of pin %q inside a loop runs only at function exit: pins accumulate across iterations — extract the loop body into a function", target.name)
+	}
+	st[target] = (mask &^ pinHeld) | pinDeferred
+}
+
+// releasedInLit scans a deferred closure body for a release call on a
+// tracked pin (the `defer func() { st.release() }()` idiom, possibly
+// guarded).
+func (w *pinWalker) releasedInLit(lit *ast.FuncLit) *pin {
+	var found *pin
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && found == nil {
+			if p := w.releaseTarget(call); p != nil {
+				found = p
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+// ifStmt splits the state per branch, applying the `if v == nil` guard
+// idiom, and merges the surviving branches.
+func (w *pinWalker) ifStmt(s *ast.IfStmt, st pinState) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	w.scanExpr(s.Cond, st)
+
+	thenSt := cloneState(st)
+	elseSt := cloneState(st)
+	if p, isEq := w.nilGuard(s.Cond); p != nil {
+		if isEq { // if v == nil: the then-branch holds no pin
+			thenSt[p] = pinNil
+			elseSt[p] &^= pinNil
+		} else { // if v != nil: the else/fallthrough path holds no pin
+			elseSt[p] = pinNil
+			thenSt[p] &^= pinNil
+		}
+	}
+	thenTerm := w.stmts(s.Body.List, thenSt)
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.stmt(s.Else, elseSt)
+	}
+	for p := range st {
+		delete(st, p)
+	}
+	if !thenTerm {
+		mergeState(st, thenSt)
+	}
+	if !elseTerm {
+		mergeState(st, elseSt)
+	}
+	return thenTerm && elseTerm
+}
+
+// caseBodies walks every case clause of a switch/select on a cloned state
+// and merges the survivors. Without a default case execution can skip every
+// clause, so the incoming state is merged back too.
+func (w *pinWalker) caseBodies(body *ast.BlockStmt, st pinState, exhaustive bool) bool {
+	base := cloneState(st)
+	for p := range st {
+		delete(st, p)
+	}
+	allTerm := true
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		caseSt := cloneState(base)
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, caseSt)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, caseSt)
+			}
+			list = c.Body
+		}
+		if term := w.stmts(list, caseSt); !term {
+			mergeState(st, caseSt)
+			allTerm = false
+		}
+	}
+	if !exhaustive {
+		mergeState(st, base)
+		allTerm = false
+	}
+	return allTerm && len(body.List) > 0
+}
+
+// scanExpr accounts risky calls and ownership transfers inside an arbitrary
+// expression evaluated while pins may be held.
+func (w *pinWalker) scanExpr(x ast.Expr, st pinState) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isConversion(w.info, n) {
+				return true
+			}
+			if w.releaseTarget(n) != nil {
+				// Release in expression position is handled at statement
+				// level; inside larger expressions it is effectively a
+				// statement too (e.g. comma contexts don't exist in Go).
+				return true
+			}
+			w.transferAll(n, st)
+			if !w.isSafeCall(n) {
+				w.countRisky(st)
+			}
+			return true
+		case *ast.FuncLit:
+			// Capturing a held pin in a closure hands it off; the closure
+			// body is analyzed as its own scope.
+			w.captureTransfer(n, st)
+			newPinWalker(w.pass).walkFunc(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if p := w.pinOf(n.X); p != nil {
+					st[p] = pinTransferred
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCallArgs scans only the arguments of call (not the call itself) —
+// used when the call is a release and must not count as risky.
+func (w *pinWalker) scanCallArgs(call *ast.CallExpr, st pinState) {
+	for _, arg := range call.Args {
+		w.scanExpr(arg, st)
+	}
+}
+
+// transferAll marks every pin passed directly as an argument as transferred.
+func (w *pinWalker) transferAll(call *ast.CallExpr, st pinState) {
+	for _, arg := range call.Args {
+		if p := w.pinOf(arg); p != nil {
+			st[p] = pinTransferred
+		}
+	}
+}
+
+// captureTransfer transfers pins whose variables a closure references.
+func (w *pinWalker) captureTransfer(lit *ast.FuncLit, st pinState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := w.info.Uses[id].(*types.Var); ok {
+				if p := w.binding[v]; p != nil {
+					if st[p]&pinHeld != 0 {
+						st[p] = pinTransferred
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// countRisky charges one possibly-panicking call to every pin currently
+// held without a deferred release.
+func (w *pinWalker) countRisky(st pinState) {
+	for p, mask := range st {
+		if mask&pinHeld != 0 && mask&pinDeferred == 0 {
+			p.riskyCalls++
+		}
+	}
+}
+
+// isSafeCall reports calls that cannot panic in any way that matters for
+// pin accounting: builtins like len/cap and the release primitive itself.
+func (w *pinWalker) isSafeCall(call *ast.CallExpr) bool {
+	if obj := calleeOf(w.info, call); obj != nil {
+		if _, ok := obj.(*types.Builtin); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// nilGuard matches `v == nil` / `v != nil` over a tracked pin variable.
+func (w *pinWalker) nilGuard(cond ast.Expr) (*pin, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(w.info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(w.info, y) {
+		return nil, false
+	}
+	if p := w.pinOf(x); p != nil {
+		return p, be.Op == token.EQL
+	}
+	return nil, false
+}
+
+// pinOf resolves expr to the pin its variable is bound to, if any.
+func (w *pinWalker) pinOf(expr ast.Expr) *pin {
+	v := localVar(w.info, expr)
+	if v == nil {
+		return nil
+	}
+	return w.binding[v]
+}
+
+// isAcquire reports whether call invokes an //rlc:acquire function.
+func (w *pinWalker) isAcquire(call *ast.CallExpr) bool {
+	obj := calleeOf(w.info, call)
+	return obj != nil && w.dirs.Of(obj)&dirAcquire != 0
+}
+
+// releaseTarget returns the tracked pin a call releases, nil when the call
+// is not a release on a tracked pin variable.
+func (w *pinWalker) releaseTarget(call *ast.CallExpr) *pin {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := w.info.Uses[sel.Sel]
+	if obj == nil || w.dirs.Of(obj)&dirRelease == 0 {
+		return nil
+	}
+	return w.pinOf(sel.X)
+}
+
+func exprName(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "pin"
+}
+
+func mergeState(dst, src pinState) {
+	for p, m := range src {
+		dst[p] |= m
+	}
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if c, ok := clause.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+// Package errcode_a seeds an unmapped sentinel for the errcode analyzer:
+// the //rlc:errcode mapping function covers errMapped and errCompared but
+// not errUnmapped; errExempt opts out explicitly.
+package errcode_a
+
+import "errors"
+
+var (
+	errMapped   = errors.New("mapped")
+	errCompared = errors.New("compared")
+	errUnmapped = errors.New("unmapped") // want `error sentinel errUnmapped is not mapped to a machine-readable code in errorCode`
+	errExempt   = errors.New("exempt")   //rlc:errcode-exempt
+)
+
+// errorCode maps error sentinels to machine-readable wire codes.
+//
+//rlc:errcode
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, errMapped):
+		return "mapped"
+	case err == errCompared:
+		return "compared"
+	}
+	return "internal"
+}

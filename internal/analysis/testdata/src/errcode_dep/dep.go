@@ -1,0 +1,25 @@
+// Package errcode_dep exports sentinels that importing packages must map to
+// wire codes (ErrQuiet opts out).
+package errcode_dep
+
+import "errors"
+
+// ErrBoom is surfaced to clients and needs a wire code downstream.
+var ErrBoom = errors.New("boom")
+
+// ErrMapped is surfaced and mapped downstream.
+var ErrMapped = errors.New("mapped")
+
+// ErrQuiet never crosses the API boundary.
+var ErrQuiet = errors.New("quiet") //rlc:errcode-exempt
+
+// errInternal is unexported: not part of the cross-package contract.
+var errInternal = errors.New("internal")
+
+// Boom exercises the sentinels so the package typechecks cleanly.
+func Boom(b bool) error {
+	if b {
+		return ErrBoom
+	}
+	return errInternal
+}

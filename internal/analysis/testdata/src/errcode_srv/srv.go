@@ -1,0 +1,28 @@
+// Package errcode_srv imports errcode_dep and must map every exported Err*
+// sentinel of that package; errcode_dep.ErrBoom is missing, so the mapping
+// function is flagged.
+package errcode_srv
+
+import (
+	"errors"
+
+	"errcode_dep"
+)
+
+var errLocal = errors.New("local")
+
+// errorCode maps error sentinels to machine-readable wire codes.
+//
+//rlc:errcode
+func errorCode(err error) string { // want `error sentinel errcode_dep\.ErrBoom is not mapped to a machine-readable code in errorCode`
+	switch {
+	case errors.Is(err, errLocal):
+		return "local"
+	case errors.Is(err, errcode_dep.ErrMapped):
+		return "mapped"
+	}
+	return "internal"
+}
+
+// Serve exercises the dependency so the import is used.
+func Serve() error { return errcode_dep.Boom(true) }

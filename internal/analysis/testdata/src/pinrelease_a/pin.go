@@ -1,0 +1,111 @@
+// Package pinrelease_a seeds pin lifecycle violations for the pinrelease
+// analyzer. Every `// want` comment is an expected diagnostic.
+package pinrelease_a
+
+import "errors"
+
+var errClosed = errors.New("closed")
+
+type state struct{ refs int }
+
+// release drops one reference.
+//
+//rlc:release
+func (s *state) release() {}
+
+type store struct{ cur *state }
+
+// acquire pins the current state; nil after close.
+//
+//rlc:acquire
+func (s *store) acquire() *state { return s.cur }
+
+func work() error { return nil }
+
+func okDefer(s *store) error {
+	st := s.acquire()
+	defer st.release()
+	return work()
+}
+
+func okNilGuard(s *store) error {
+	st := s.acquire()
+	if st == nil {
+		return errClosed
+	}
+	defer st.release()
+	return work()
+}
+
+func okImmediateRelease(s *store) int {
+	st := s.acquire()
+	n := st.refs
+	st.release()
+	return n
+}
+
+func leakOnEarlyReturn(s *store) error {
+	st := s.acquire()
+	if err := work(); err != nil {
+		return err // want `pin "st" \(acquired at line \d+\) is not released on this path to return: leak`
+	}
+	st.release() // want `released without defer across 1 intervening call\(s\)`
+	return nil
+}
+
+func leakAtExit(s *store) {
+	st := s.acquire()
+	if st != nil {
+		_ = st.refs
+	}
+} // want `pin "st" \(acquired at line \d+\) is not released on this path to function exit: leak`
+
+func doubleRelease(s *store) {
+	st := s.acquire()
+	st.release()
+	st.release() // want `released twice on this path: double release`
+}
+
+func doubleDefer(s *store) {
+	st := s.acquire()
+	defer st.release()
+	defer st.release() // want `two deferred releases: double release`
+}
+
+func releaseAfterDefer(s *store) {
+	st := s.acquire()
+	defer st.release()
+	st.release() // want `released explicitly after a deferred release: double release`
+}
+
+func bareReleaseAcrossCalls(s *store) {
+	st := s.acquire()
+	work()
+	work()
+	st.release() // want `released without defer across 2 intervening call\(s\)`
+}
+
+func droppedAcquire(s *store) {
+	s.acquire() // want `result of acquire is dropped`
+}
+
+func reassignWhileHeld(s *store) {
+	st := s.acquire()
+	st = s.acquire() // want `pin "st" reassigned while still held`
+	st.release()
+}
+
+func okReturnTransfersPin(s *store) *state {
+	st := s.acquire()
+	return st
+}
+
+func okSendTransfersPin(s *store, ch chan *state) {
+	st := s.acquire()
+	ch <- st
+}
+
+func okClosureHandoff(s *store) func() {
+	st := s.acquire()
+	return func() { st.release() }
+}

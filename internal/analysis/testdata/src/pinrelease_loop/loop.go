@@ -1,0 +1,67 @@
+// Package pinrelease_loop seeds loop-shaped pin lifecycle cases: deferred
+// release inside a loop (accumulates pins), release of an outer pin inside a
+// loop (double release after one iteration), and the two clean idioms —
+// per-iteration acquire/release and extracting the body into a closure.
+package pinrelease_loop
+
+type state struct{ refs int }
+
+// release drops one reference.
+//
+//rlc:release
+func (s *state) release() {}
+
+type store struct{ cur *state }
+
+// acquire pins the current state.
+//
+//rlc:acquire
+func (s *store) acquire() *state { return s.cur }
+
+func work() error { return nil }
+
+func deferInLoop(s *store) {
+	for i := 0; i < 3; i++ {
+		st := s.acquire()
+		defer st.release() // want `deferred release of pin "st" inside a loop runs only at function exit`
+		work()
+	}
+}
+
+func releaseOfOuterPinInLoop(s *store) {
+	st := s.acquire()
+	for i := 0; i < 3; i++ {
+		st.release() // want `pin "st" acquired outside this loop is released inside it: double release after one iteration`
+	}
+} // want `pin "st" \(acquired at line \d+\) is not released on this path to function exit: leak`
+
+func okPerIterationRelease(s *store) {
+	for i := 0; i < 3; i++ {
+		st := s.acquire()
+		st.release()
+	}
+}
+
+func okLoopBodyExtracted(s *store) {
+	for i := 0; i < 3; i++ {
+		func() {
+			st := s.acquire()
+			defer st.release()
+			work()
+		}()
+	}
+}
+
+// releaseHelper is the deferred-cleanup-helper idiom: the caller hands the
+// pin over, so its local tracking ends at the defer site.
+func releaseHelper(st *state) {
+	if st != nil {
+		st.release()
+	}
+}
+
+func okHelperTransfer(s *store) {
+	st := s.acquire()
+	defer releaseHelper(st)
+	work()
+}

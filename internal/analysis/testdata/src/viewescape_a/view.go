@@ -1,0 +1,85 @@
+// Package viewescape_a seeds zero-copy view escapes for the viewescape
+// analyzer: stores to fields, globals, elements, channel sends, returns from
+// unannotated functions — plus the clean idioms (scoped use, //rlc:view
+// propagation, //rlc:viewowner adoption, copy-before-return).
+package viewescape_a
+
+type snap struct{ data []int32 }
+
+// i32s returns a zero-copy view of the snapshot payload.
+//
+//rlc:view
+func (s *snap) i32s() []int32 { return s.data }
+
+type holder struct{ kept []int32 }
+
+var global []int32
+
+func storeField(s *snap, h *holder) {
+	h.kept = s.i32s() // want `zero-copy view from i32s stored in a struct field`
+}
+
+func storeGlobal(s *snap) {
+	global = s.i32s() // want `zero-copy view from i32s stored in package-level variable global`
+}
+
+func storeElement(s *snap, all [][]int32) {
+	all[0] = s.i32s() // want `zero-copy view from i32s stored in a slice or map element`
+}
+
+func sendOnChannel(s *snap, ch chan []int32) {
+	ch <- s.i32s() // want `zero-copy view from i32s sent on a channel`
+}
+
+func returned(s *snap) []int32 {
+	return s.i32s() // want `zero-copy view from i32s returned from a function not annotated //rlc:view`
+}
+
+func inCompositeLit(s *snap) {
+	pairs := [][]int32{
+		s.i32s(), // want `zero-copy view from i32s stored in a composite literal`
+	}
+	_ = pairs
+}
+
+// storeThenClear shows why flow-insensitive flagging is right: the store is
+// visible to other goroutines before the clear.
+func storeThenClear(s *snap, h *holder) {
+	h.kept = s.i32s() // want `zero-copy view from i32s stored in a struct field`
+	h.kept = nil
+}
+
+func taintThroughSlicing(s *snap) []int32 {
+	v := s.i32s()
+	w := v[1:]
+	return w // want `zero-copy view from i32s returned from a function not annotated`
+}
+
+func okScopedUse(s *snap) int32 {
+	v := s.i32s()
+	var sum int32
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}
+
+// okViewPropagation may return the borrow: it is itself a view accessor.
+//
+//rlc:view
+func okViewPropagation(s *snap) []int32 {
+	return s.i32s()
+}
+
+// okAdopt retains views because it owns the mapping's lifetime.
+//
+//rlc:viewowner
+func okAdopt(s *snap, h *holder) {
+	h.kept = s.i32s()
+}
+
+func okCopyBeforeReturn(s *snap) []int32 {
+	v := s.i32s()
+	v = append([]int32(nil), v...)
+	return v
+}

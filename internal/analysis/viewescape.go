@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ViewEscape enforces the borrow discipline of zero-copy snapshot views:
+// a slice produced by an //rlc:view accessor aliases mmap'd memory that is
+// only valid while the producing snapshot's generation is pinned, so it
+// must stay within the scope that produced it. Storing one into a struct
+// field, global, slice/map element, or composite literal, sending it on a
+// channel, or returning it from an unannotated function lets it outlive the
+// pin — a use-after-unmap once the generation is retired.
+//
+// Two annotations shape the rules: a function annotated //rlc:view may
+// return a view (the borrow propagates to its caller, which is checked in
+// turn), and a function annotated //rlc:viewowner may retain views because
+// it manages the mapping's lifetime (the snapshot adoption path).
+var ViewEscape = &Analyzer{
+	Name: "viewescape",
+	Doc: "check that zero-copy //rlc:view slices are never stored, sent, or " +
+		"returned past the pinned scope that produced them",
+	Run: runViewEscape,
+}
+
+func runViewEscape(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			dirs := pass.Prog.Directives().Of(pass.Pkg.Info.Defs[fn.Name])
+			if dirs&dirViewOwner != 0 {
+				continue // blessed lifetime owner
+			}
+			(&viewWalker{
+				pass:     pass,
+				info:     pass.Pkg.Info,
+				mayYield: dirs&dirView != 0,
+				tainted:  make(map[*types.Var]string),
+			}).walk(fn)
+		}
+	}
+	return nil
+}
+
+type viewWalker struct {
+	pass *Pass
+	info *types.Info
+	// mayYield marks an //rlc:view function: returning a borrow is its
+	// contract, not an escape.
+	mayYield bool
+	// tainted maps local variables to the name of the view accessor whose
+	// borrow they hold.
+	tainted map[*types.Var]string
+}
+
+func (w *viewWalker) walk(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(n)
+		case *ast.SendStmt:
+			if src, ok := w.viewSource(n.Value); ok {
+				w.pass.Reportf(n.Value.Pos(), "zero-copy view from %s sent on a channel: the borrow escapes the pinned scope", src)
+			}
+		case *ast.ReturnStmt:
+			if w.mayYield {
+				return true
+			}
+			for _, res := range n.Results {
+				if src, ok := w.viewSource(res); ok {
+					w.pass.Reportf(res.Pos(), "zero-copy view from %s returned from a function not annotated //rlc:view: the borrow outlives the pinned scope", src)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if src, ok := w.viewSource(val); ok {
+					w.pass.Reportf(val.Pos(), "zero-copy view from %s stored in a composite literal: the borrow escapes the pinned scope", src)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign records taint for plain local bindings and flags stores that let a
+// view outlive its frame.
+func (w *viewWalker) assign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return // view accessors are single-valued; multi-value RHS carries no borrow
+	}
+	for i, rhs := range n.Rhs {
+		src, isView := w.viewSource(rhs)
+		if !isView {
+			// Overwriting a tainted variable with a clean value clears it.
+			if v := localVar(w.info, n.Lhs[i]); v != nil {
+				delete(w.tainted, v)
+			}
+			continue
+		}
+		lhs := ast.Unparen(n.Lhs[i])
+		if v := localVar(w.info, lhs); v != nil {
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				// Package-scope variable: the store is global.
+				w.pass.Reportf(lhs.Pos(), "zero-copy view from %s stored in package-level variable %s: the borrow escapes the pinned scope", src, v.Name())
+				continue
+			}
+			w.tainted[v] = src
+			continue
+		}
+		switch lhs.(type) {
+		case *ast.SelectorExpr:
+			w.pass.Reportf(lhs.Pos(), "zero-copy view from %s stored in a struct field: the borrow escapes the pinned scope", src)
+		case *ast.IndexExpr:
+			w.pass.Reportf(lhs.Pos(), "zero-copy view from %s stored in a slice or map element: the borrow escapes the pinned scope", src)
+		case *ast.StarExpr:
+			w.pass.Reportf(lhs.Pos(), "zero-copy view from %s stored through a pointer: the borrow escapes the pinned scope", src)
+		}
+	}
+}
+
+// viewSource reports whether expr carries a view borrow and names its
+// producer. Borrows propagate through parens, slicing, and tainted locals.
+func (w *viewWalker) viewSource(expr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if obj := calleeOf(w.info, e); obj != nil {
+			if w.pass.Prog.Directives().Of(obj)&dirView != 0 {
+				return obj.Name(), true
+			}
+		}
+	case *ast.Ident:
+		if v, ok := w.info.Uses[e].(*types.Var); ok {
+			if src, ok := w.tainted[v]; ok {
+				return src, true
+			}
+		}
+	case *ast.SliceExpr:
+		return w.viewSource(e.X)
+	}
+	return "", false
+}

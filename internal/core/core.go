@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/g-rpqs/rlc-go/internal/graph"
 	"github.com/g-rpqs/rlc-go/internal/labelseq"
@@ -231,9 +230,13 @@ func (ix *Index) decode(list []entry) []EntryView {
 
 // Query answers the RLC query (s, t, L+) — Algorithm 1. The constraint must
 // be a minimum repeat of length at most K() over the graph's labels;
-// otherwise an error describes the violation.
+// otherwise an error describes the violation. A valid query allocates
+// nothing (enforced by rlcvet's noalloc check and a testing.AllocsPerRun
+// regression test); only rejection paths build errors.
+//
+//rlc:noalloc
 func (ix *Index) Query(s, t graph.Vertex, l labelseq.Seq) (bool, error) {
-	if err := ix.checkQuery(s, t, l); err != nil {
+	if err := ix.checkQuery(s, t, l); err != nil { //rlc:allocok rejection path builds the validation error
 		return false, err
 	}
 	mr := ix.dict.Lookup(l)
@@ -314,6 +317,8 @@ func (ix *Index) checkConstraint(l labelseq.Seq) error {
 // layout: Case 2 (direct entries) then Case 1 (merge join). During
 // construction the equivalent PR1 check runs against the builder's mutable
 // per-vertex lists instead (see builder.insert).
+//
+//rlc:noalloc
 func (ix *Index) queryByID(s, t graph.Vertex, mr labelseq.ID) bool {
 	outS, inT := ix.lout(s), ix.lin(t)
 	if hasEntry(outS, ix.rank[t], mr) || hasEntry(inT, ix.rank[s], mr) {
@@ -322,9 +327,22 @@ func (ix *Index) queryByID(s, t graph.Vertex, mr labelseq.ID) bool {
 	return joinHas(outS, inT, mr)
 }
 
-// hasEntry reports whether list (sorted by hub) contains (hub, mr).
+// hasEntry reports whether list (sorted by hub) contains (hub, mr). The
+// binary search is spelled out rather than delegated to sort.Search so the
+// probe stays closure-free: this runs twice per query, and rlcvet's noalloc
+// check holds the whole chain to zero allocating operations.
+//
+//rlc:noalloc
 func hasEntry(list []entry, hub int32, mr labelseq.ID) bool {
-	i := sort.Search(len(list), func(i int) bool { return list[i].hub >= hub })
+	i, j := 0, len(list)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if list[h].hub < hub {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
 	for ; i < len(list) && list[i].hub == hub; i++ {
 		if list[i].mr == mr {
 			return true
@@ -335,6 +353,8 @@ func hasEntry(list []entry, hub int32, mr labelseq.ID) bool {
 
 // joinHas merge-joins two hub-sorted entry lists and reports whether some
 // hub carries mr on both sides — Case 1 of Definition 4.
+//
+//rlc:noalloc
 func joinHas(a, b []entry, mr labelseq.ID) bool {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

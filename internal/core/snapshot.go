@@ -261,6 +261,10 @@ func section(f *snapshot.File, id uint32, wantLen int64, what string) ([]byte, e
 	return b, nil
 }
 
+// newSnapshot adopts the mapped sections into a live Index; it owns the
+// mapping's lifetime (Close releases it), so it may retain views.
+//
+//rlc:viewowner
 func newSnapshot(f *snapshot.File) (*Snapshot, error) {
 	metaBytes, ok := f.Section(secMeta)
 	if !ok {
@@ -594,6 +598,8 @@ func entryBytes(s []entry) []byte {
 // entriesView returns b as an entry slice — zero-copy when the host is
 // little-endian and the section is aligned, a decoded copy otherwise. The
 // caller must have checked len(b)%8 == 0.
+//
+//rlc:view
 func entriesView(b []byte) []entry {
 	if len(b) == 0 {
 		return nil

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// TestAnswerRLCHitAllocFree pins the serving layer's cache-hit contract —
+// the runtime counterpart of the //rlc:noalloc annotation on answerRLC: once
+// a single-segment answer is resident, repeating the query costs one
+// packed-key probe and zero heap allocations (no canonical-expression
+// string, no detached context, no compute closure).
+func TestAnswerRLCHitAllocFree(t *testing.T) {
+	ix := buildIndex(t, graph.Fig2())
+	s := New(ix, Options{})
+	defer s.Close()
+
+	ctx := context.Background()
+	l := labelseq.Seq{0, 1}
+	if _, _, err := s.AnswerRLC(ctx, 0, 2, l); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if _, cached, err := s.AnswerRLC(ctx, 0, 2, l); err != nil || !cached {
+		t.Fatalf("second call: cached=%v err=%v, want a cache hit", cached, err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		_, cached, err := s.AnswerRLC(ctx, 0, 2, l)
+		if err != nil || !cached {
+			panic("expected a resident cache hit")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AnswerRLC cache hit: %.1f allocs/op, want 0", avg)
+	}
+}

@@ -226,6 +226,33 @@ func (c *cache) account(added, evicted bool) {
 	}
 }
 
+// hitProbe is the allocation-free fast path in front of do: a pure resident
+// lookup that counts only hits. A probe failure is not yet a miss — the
+// caller falls through to do, which counts the miss (or coalesces onto a
+// flight) after building the detached context and compute closure that the
+// hit path never pays for.
+//
+//rlc:noalloc
+func (c *cache) hitProbe(k cacheKey, ver uint64) (val, ok bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	idx, ok := sh.table[k]
+	if ok {
+		n := &sh.nodes[idx]
+		if n.val || n.ver == ver {
+			sh.moveToFront(idx)
+			val = n.val
+		} else {
+			ok = false // stale FALSE: recompute via do
+		}
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return val, ok
+}
+
 // get is a pure lookup (no singleflight, no insert); the batch path uses it
 // to peel resident answers off a request before fanning the rest out. It
 // applies the same monotone validity rule as do.

@@ -132,14 +132,10 @@ func (s *Server) rebuildOnce() (res RebuildResult, err error) {
 	start := time.Now()
 	defer func() { s.finishRebuild(&res, start, err) }()
 
-	st := s.store.acquire()
-	if st == nil {
-		err = errServerClosed
+	union, folded, k, err := s.foldInput()
+	if err != nil {
 		return res, err
 	}
-	union, folded := st.delta.FoldInput()
-	k := st.ix.K()
-	st.release()
 	if folded == 0 {
 		res = RebuildResult{Epoch: s.epoch.Load(), Generation: s.store.Generation()}
 		return res, nil
@@ -174,36 +170,58 @@ func (s *Server) rebuildOnce() (res RebuildResult, err error) {
 		source = "folded snapshot " + s.opts.RebuildPath
 	}
 
-	// Install: writers pause only here, so the journal tail observed is
-	// complete and no insert slips between carry-over and swap.
-	s.updateMu.Lock()
-	st1 := s.store.acquire()
-	if st1 == nil {
-		s.updateMu.Unlock()
-		if src != nil {
-			src.Close()
-		}
-		err = errServerClosed
+	leftover, epoch, err := s.installFolded(ix, src, folded, source)
+	if err != nil {
 		return res, err
 	}
-	leftover := st1.delta.JournalTail(folded)
-	if src != nil {
-		s.store.SwapFolded(ix, src, leftover, source)
-	} else {
-		s.store.SwapFolded(ix, nil, leftover, source)
-	}
-	epoch := s.epoch.Add(1)
-	st1.release()
-	s.updateMu.Unlock()
 
 	res = RebuildResult{
 		Epoch:      epoch,
 		Generation: s.store.Generation(),
 		Folded:     folded,
-		Journal:    len(leftover),
+		Journal:    leftover,
 		Path:       s.opts.RebuildPath,
 	}
 	return res, nil
+}
+
+// foldInput pins the serving generation just long enough to materialize
+// base ∪ journal and read the build parameters. The pin is defer-scoped so a
+// panic inside FoldInput cannot strand the generation's snapshot.
+func (s *Server) foldInput() (union *graph.Graph, folded, k int, err error) {
+	st := s.store.acquire()
+	if st == nil {
+		return nil, 0, 0, errServerClosed
+	}
+	defer st.release()
+	union, folded = st.delta.FoldInput()
+	return union, folded, st.ix.K(), nil
+}
+
+// installFolded pauses writers, carries the un-folded journal tail into the
+// new generation, and swaps it in. Returns the carried-over journal length
+// and the new epoch. Writers pause only here, so the journal tail observed
+// is complete and no insert slips between carry-over and swap. The pin is
+// defer-scoped: a panic in JournalTail or the swap cannot strand the
+// pre-fold generation.
+func (s *Server) installFolded(ix *core.Index, src *core.Snapshot, folded int, source string) (leftover int, epoch uint64, err error) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	st := s.store.acquire()
+	if st == nil {
+		if src != nil {
+			src.Close()
+		}
+		return 0, 0, errServerClosed
+	}
+	defer st.release()
+	tail := st.delta.JournalTail(folded)
+	if src != nil {
+		s.store.SwapFolded(ix, src, tail, source)
+	} else {
+		s.store.SwapFolded(ix, nil, tail, source)
+	}
+	return len(tail), s.epoch.Add(1), nil
 }
 
 // finishRebuild records fold telemetry and fires the OnRebuild callback.

@@ -320,19 +320,31 @@ func (s *Server) QueryRLC(ctx context.Context, src, dst graph.Vertex, l labelseq
 // is read once at entry: any answer computed under it corresponds to a
 // graph state within this request's window, so serving it (or stamping it
 // into the cache) is linearizable even as inserts land concurrently.
+//
+// The function is annotated noalloc for its hit path: a resident answer
+// costs one packed-key probe and nothing else. The detached context and
+// compute closure — both heap allocations — are built only after the probe
+// misses, on the lines waived below.
+//
+//rlc:noalloc
 func (st *state) answerRLC(ctx context.Context, src, dst graph.Vertex, l labelseq.Seq) (reachable, cached bool, err error) {
 	if st.cache == nil {
-		reachable, err = st.computeSeq(ctx, src, dst, l)
+		reachable, err = st.computeSeq(ctx, src, dst, l) //rlc:allocok uncached configuration, not the serving hot path
 		return reachable, false, err
 	}
 	ver := st.ver.Load()
-	// A flight's result is broadcast to every coalesced waiter, so the
-	// leader must not abort on its own client's disconnect — that would
-	// fail healthy waiters with a spurious "canceled". Compute detached;
-	// the answer also warms the cache for the next request.
-	dctx := context.WithoutCancel(ctx)
-	compute := func() (bool, error) { return st.computeSeq(dctx, src, dst, l) }
-	return st.cache.do(st.seqKey(src, dst, l), ver, compute)
+	key := st.seqKey(src, dst, l)
+	if val, ok := st.cache.hitProbe(key, ver); ok {
+		return val, true, nil
+	}
+	// Miss: compute through the singleflight. A flight's result is broadcast
+	// to every coalesced waiter, so the leader must not abort on its own
+	// client's disconnect — that would fail healthy waiters with a spurious
+	// "canceled". Compute detached; the answer also warms the cache for the
+	// next request.
+	dctx := context.WithoutCancel(ctx)                                          //rlc:allocok miss path: detached context outlives the request
+	compute := func() (bool, error) { return st.computeSeq(dctx, src, dst, l) } //rlc:allocok miss path: closure handed to the singleflight
+	return st.cache.do(key, ver, compute)                                       //rlc:allocok miss path: flight bookkeeping allocates
 }
 
 // computeSeq answers (src, dst, l+) on a cache miss. Immutable generations
@@ -361,16 +373,21 @@ func (st *state) computeSeq(ctx context.Context, src, dst graph.Vertex, l labels
 
 // seqKey builds the cache key of a single-L+ query: the packed sequence code
 // when it fits, the canonical expression text otherwise.
+//
+//rlc:noalloc
 func (st *state) seqKey(src, dst graph.Vertex, l labelseq.Seq) cacheKey {
 	if code, ok := st.packSeq(l); ok {
 		return cacheKey{s: int32(src), t: int32(dst), code: code}
 	}
+	//rlc:allocok overflow fallback: sequences past 63 bits key by canonical text
 	return cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(automaton.Plus(l))}
 }
 
 // packSeq packs l into the base-(numLabels+1) code cacheKey uses, refusing
 // sequences that overflow 63 bits or carry out-of-range labels (both are
 // answered — and rejected — downstream; they just can't use the packed key).
+//
+//rlc:noalloc
 func (st *state) packSeq(l labelseq.Seq) (uint64, bool) {
 	base := uint64(st.g.NumLabels() + 1)
 	var code uint64
@@ -396,11 +413,15 @@ func (st *state) answerExpr(ctx context.Context, src, dst graph.Vertex, e automa
 		return reachable, false, err
 	}
 	ver := st.ver.Load()
+	key := cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(e)}
+	if val, ok := st.cache.hitProbe(key, ver); ok {
+		return val, true, nil
+	}
 	// Detached for the same reason as answerRLC: coalesced waiters share
-	// the leader's result.
+	// the leader's result. Built only on a miss — a hit pays for the key's
+	// canonical text and nothing else.
 	dctx := context.WithoutCancel(ctx)
 	compute := func() (bool, error) { return st.computeExpr(dctx, src, dst, e) }
-	key := cacheKey{s: int32(src), t: int32(dst), expr: canonicalExpr(e)}
 	return st.cache.do(key, ver, compute)
 }
 
@@ -861,7 +882,11 @@ type errorResponse struct {
 
 // errorCode maps an error chain onto its stable wire code via the typed
 // sentinels the facade exports; clients switch on these instead of parsing
-// message text.
+// message text. rlcvet's errcode analyzer holds the mapping exhaustive: every
+// sentinel this package (or a non-stdlib import) surfaces must appear here or
+// carry an //rlc:errcode-exempt annotation.
+//
+//rlc:errcode
 func errorCode(err error) string {
 	switch {
 	case err == nil:
@@ -884,6 +909,14 @@ func errorCode(err error) string {
 		return "deletions_unsupported"
 	case errors.Is(err, errNotMutable):
 		return "immutable"
+	case errors.Is(err, automaton.ErrTooLarge):
+		return "expression_too_large"
+	case errors.Is(err, automaton.ErrEmpty):
+		return "empty_expression"
+	case errors.Is(err, errServerClosed):
+		return "server_closed"
+	case errors.Is(err, errComputePanicked):
+		return "compute_panicked"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "canceled"
 	default:

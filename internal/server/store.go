@@ -54,6 +54,10 @@ type state struct {
 	closeErr  error
 }
 
+// release drops one pin on this generation; the last release after
+// retirement closes the backing snapshot.
+//
+//rlc:release
 func (st *state) release() {
 	if st.refs.Add(-1) == 0 && st.retired.Load() {
 		st.close()
@@ -177,6 +181,8 @@ func (s *Store) install(st *state) {
 // load and the increment, the reference is dropped and the load retried, so
 // a pinned state is always safe to read until release — its backing mapping
 // cannot be unmapped while the pin is held. Returns nil after Close.
+//
+//rlc:acquire
 func (s *Store) acquire() *state {
 	for {
 		st := s.cur.Load()

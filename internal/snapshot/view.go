@@ -33,6 +33,8 @@ func viewable(b []byte, elem uintptr) bool {
 // I32s returns b as little-endian 32-bit values of any int32-kinded type
 // (vertex ids, labels) — a zero-copy view when possible, a decoded copy
 // otherwise. The caller must have checked len(b)%4 == 0.
+//
+//rlc:view
 func I32s[T ~int32](b []byte) []T {
 	if len(b) == 0 {
 		return nil
@@ -49,6 +51,8 @@ func I32s[T ~int32](b []byte) []T {
 
 // I64s returns b as little-endian int64s — a zero-copy view when possible, a
 // decoded copy otherwise. The caller must have checked len(b)%8 == 0.
+//
+//rlc:view
 func I64s(b []byte) []int64 {
 	if len(b) == 0 {
 		return nil
@@ -65,6 +69,8 @@ func I64s(b []byte) []int64 {
 
 // I32Bytes returns the raw little-endian bytes of s for writing — the
 // inverse view of I32s, copying only on big-endian hosts.
+//
+//rlc:view
 func I32Bytes[T ~int32](s []T) []byte {
 	if len(s) == 0 {
 		return nil
@@ -80,6 +86,8 @@ func I32Bytes[T ~int32](s []T) []byte {
 }
 
 // I64Bytes returns the raw little-endian bytes of s for writing.
+//
+//rlc:view
 func I64Bytes(s []int64) []byte {
 	if len(s) == 0 {
 		return nil
