@@ -30,6 +30,7 @@ func main() {
 		out       = flag.String("out", "", "output v1 index file (graph not embedded)")
 		bundle    = flag.String("o", "", "output v2 snapshot bundle (self-contained, mmap-served)")
 		workers   = flag.Int("buildworkers", 0, "construction workers (0 = GOMAXPROCS, 1 = sequential)")
+		packed    = flag.Bool("packed", true, "derive the bit-parallel packed MR-set form (bundles gain packed sections; false = scan-only baseline)")
 		noPR1     = flag.Bool("no-pr1", false, "disable pruning rule PR1 (ablation)")
 		noPR2     = flag.Bool("no-pr2", false, "disable pruning rule PR2 (ablation)")
 		noPR3     = flag.Bool("no-pr3", false, "disable pruning rule PR3 (ablation)")
@@ -59,11 +60,12 @@ func main() {
 
 	start := time.Now()
 	ix, bst, err := rlc.BuildIndexWithStats(g, rlc.Options{
-		K:            *k,
-		BuildWorkers: *workers,
-		DisablePR1:   *noPR1,
-		DisablePR2:   *noPR2,
-		DisablePR3:   *noPR3,
+		K:             *k,
+		BuildWorkers:  *workers,
+		DisablePacked: !*packed,
+		DisablePR1:    *noPR1,
+		DisablePR2:    *noPR2,
+		DisablePR3:    *noPR3,
 	})
 	if err != nil {
 		fatalf("build: %v", err)
@@ -74,6 +76,10 @@ func main() {
 	fmt.Printf("indexing time: %.3fs (%d build workers)\n", elapsed.Seconds(), bst.Workers)
 	fmt.Printf("index size:    %.2f MB (%d entries: %d in, %d out; %d distinct MRs)\n",
 		float64(st.SizeBytes)/(1024*1024), st.Entries, st.InEntries, st.OutEntries, st.DistinctMRs)
+	if ix.Packed() {
+		fmt.Printf("packed:        %.2f MB (%d groups, %d hash-consed sets, %d pool words)\n",
+			float64(st.Packed.SizeBytes)/(1024*1024), st.Packed.Groups, st.Packed.Sets, st.Packed.PoolWords)
+	}
 	fmt.Printf("construction:  %d kernel searches, %d kernel-BFS nodes; %d inserts, pruned %d by PR1, %d by PR2\n",
 		bst.KernelBFSRuns, bst.KernelBFSNodes, bst.Inserted, bst.PrunedPR1, bst.PrunedPR2)
 	if bst.Workers > 1 {

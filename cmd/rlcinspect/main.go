@@ -75,6 +75,10 @@ func main() {
 	fmt.Printf("entries:      %d (%d in, %d out)\n", st.Entries, st.InEntries, st.OutEntries)
 	fmt.Printf("distinct MRs: %d\n", st.DistinctMRs)
 	fmt.Printf("size:         %.2f MB\n", float64(st.SizeBytes)/(1024*1024))
+	if ix.Packed() {
+		fmt.Printf("packed:       %.2f MB (%d groups, %d hash-consed sets, %d pool words, bit-parallel membership)\n",
+			float64(st.Packed.SizeBytes)/(1024*1024), st.Packed.Groups, st.Packed.Sets, st.Packed.PoolWords)
+	}
 
 	printDist := func(name string, d core.Distribution) {
 		fmt.Printf("%s: carriers=%d max=%d mean=%.1f p99=%d top1%%-share=%.1f%%\n",
@@ -113,7 +117,9 @@ var sectionNames = map[uint32]string{
 	1: "meta", 2: "graph-out-off", 3: "graph-out-dst", 4: "graph-out-lbl",
 	5: "graph-in-off", 6: "graph-in-src", 7: "graph-in-lbl", 8: "dict",
 	9: "order", 10: "entries", 11: "index-out-off", 12: "index-in-off",
-	13: "vertex-names", 14: "label-names",
+	13: "vertex-names", 14: "label-names", 15: "packed-meta",
+	16: "packed-groups", 17: "packed-out-off", 18: "packed-in-off",
+	19: "packed-sets", 20: "packed-set-desc",
 }
 
 // dumpSections prints the bundle's section table, checksumming each payload
@@ -145,6 +151,9 @@ func dumpSections(snap *rlc.Snapshot) {
 	}
 	if got := snap.Graph().Fingerprint(); got != snap.Fingerprint() {
 		fatalf("snapshot fingerprint mismatch: bundle records %v, embedded graph hashes to %v", snap.Fingerprint(), got)
+	}
+	if err := snap.Index().VerifyPacked(); err != nil {
+		fatalf("packed sections diverge from the entry array: %v", err)
 	}
 	fmt.Println("all sections verified")
 	fmt.Println()

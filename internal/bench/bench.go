@@ -215,6 +215,7 @@ func Experiments() []Experiment {
 		{ID: "pbuild", Title: "Parallel index construction (extension)", Run: RunPBuild},
 		{ID: "serve", Title: "Cached vs uncached query serving (extension)", Run: RunServe},
 		{ID: "ingest", Title: "Mixed read/write serving with epoch rebuilds (extension)", Run: RunIngest},
+		{ID: "packed", Title: "Bit-parallel packed MR-sets vs linear scan (extension)", Run: RunPacked},
 	}
 }
 

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/datasets"
+	"github.com/g-rpqs/rlc-go/internal/workload"
+)
+
+// packedReplayFactor sizes the timed request stream as a multiple of the
+// workload's distinct queries: index probes are nanoseconds, so a single
+// pass is too short to time reliably.
+const packedReplayFactor = 20
+
+// RunPacked measures the bit-parallel packed MR-set representation against
+// the linear-scan entry array on every dataset replica: resident index
+// bytes (the hash-consed pool vs the flat entry array) and query latency
+// through both Query and the batch path. The same fig3-style workload runs
+// against both representations, each verified against ground truth before
+// anything is timed — the packed form must be a pure accelerator.
+func RunPacked(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := &Table{
+		ID:    "packed",
+		Title: "Bit-parallel packed MR-sets vs linear scan: index bytes and query latency",
+		Columns: []string{"Dataset", "Entries", "Groups", "Sets", "Scan MB", "Packed MB", "Bytes",
+			"Scan ns/q", "Packed ns/q", "Query", "Batch"},
+		Notes: []string{fmt.Sprintf(
+			"Same index content in both representations (k = 2); fig3 true+false query pool replayed %dx through Query and once through QueryBatchInto.", packedReplayFactor),
+			"Scan MB is the flat entry array + dictionary; Packed MB is the hash-consed group/set pool + dictionary. Bytes and the Query/Batch columns are packed relative to scan (lower MB, higher x = packed wins).",
+			"Hash-consing pays on hub-dominated replicas where few distinct MR-sets repeat across many vertices; the bit probes pay on repeat-heavy entry lists."},
+	}
+
+	for _, d := range datasets.All() {
+		if !cfg.wantDataset(d.Name) {
+			continue
+		}
+		cfg.progressf("packed: %s", d.Name)
+		row, err := runPackedDataset(cfg, d)
+		if err != nil {
+			return nil, fmt.Errorf("packed: %s: %w", d.Name, err)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return []*Table{tab}, nil
+}
+
+func runPackedDataset(cfg Config, d datasets.Dataset) ([]string, error) {
+	g, err := replica(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	w, err := buildWorkload(cfg, g, 2)
+	if err != nil {
+		return nil, err
+	}
+	packed, err := core.Build(g, core.Options{K: 2})
+	if err != nil {
+		return nil, err
+	}
+	scan, err := core.Build(g, core.Options{K: 2, DisablePacked: true})
+	if err != nil {
+		return nil, err
+	}
+	if !packed.Packed() || scan.Packed() {
+		return nil, fmt.Errorf("representation flags wrong: packed=%v scan=%v", packed.Packed(), scan.Packed())
+	}
+
+	// Correctness gate: both representations answer the whole pool exactly.
+	pool := w.All()
+	for _, ix := range []*core.Index{packed, scan} {
+		if _, err := timeQuerySet(pool, 0, func(q workload.Query) (bool, error) {
+			return ix.Query(q.S, q.T, q.L)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	replay := func(ix *core.Index) func() error {
+		return func() error {
+			for r := 0; r < packedReplayFactor; r++ {
+				for _, q := range pool {
+					if _, err := ix.Query(q.S, q.T, q.L); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+	scanDur, err := bestOf(3, replay(scan))
+	if err != nil {
+		return nil, err
+	}
+	packedDur, err := bestOf(3, replay(packed))
+	if err != nil {
+		return nil, err
+	}
+
+	batch := make([]core.BatchQuery, len(pool))
+	for i, q := range pool {
+		batch[i] = core.BatchQuery{S: q.S, T: q.T, L: q.L}
+	}
+	batchReplay := func(ix *core.Index) func() error {
+		var buf []core.BatchResult
+		return func() error {
+			for r := 0; r < packedReplayFactor; r++ {
+				buf = ix.QueryBatchInto(batch, 0, buf)
+			}
+			return nil
+		}
+	}
+	scanBatch, err := bestOf(3, batchReplay(scan))
+	if err != nil {
+		return nil, err
+	}
+	packedBatch, err := bestOf(3, batchReplay(packed))
+	if err != nil {
+		return nil, err
+	}
+
+	st := packed.Stats()
+	scanBytes := scan.Stats().SizeBytes
+	packedBytes := st.Packed.SizeBytes
+	queries := int64(packedReplayFactor * len(pool))
+	nsPer := func(total int64) string {
+		return fmt.Sprintf("%.0f", float64(total)/float64(queries))
+	}
+	return []string{
+		d.Name,
+		fmtCount(st.Entries),
+		fmtCount(st.Packed.Groups),
+		fmtCount(int64(st.Packed.Sets)),
+		fmtMB(scanBytes),
+		fmtMB(packedBytes),
+		fmt.Sprintf("%.2fx", float64(packedBytes)/float64(scanBytes)),
+		nsPer(scanDur.Nanoseconds()),
+		nsPer(packedDur.Nanoseconds()),
+		fmt.Sprintf("%.2fx", float64(scanDur)/float64(packedDur)),
+		fmt.Sprintf("%.2fx", float64(scanBatch)/float64(packedBatch)),
+	}, nil
+}

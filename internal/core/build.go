@@ -140,6 +140,11 @@ func BuildWithStats(g *graph.Graph, opts Options) (*Index, BuildStats, error) {
 	if err := ix.freeze(b.out, b.in); err != nil {
 		return nil, b.stats, err
 	}
+	if !opts.DisablePacked {
+		if err := ix.pack(); err != nil {
+			return nil, b.stats, err
+		}
+	}
 	return ix, b.stats, nil
 }
 

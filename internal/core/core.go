@@ -72,6 +72,13 @@ type Options struct {
 	DisablePR1 bool
 	DisablePR2 bool
 	DisablePR3 bool
+
+	// DisablePacked skips deriving the bit-parallel packed MR-set form
+	// after the build freezes (see packed.go), leaving queries on the
+	// linear-scan entry path and WriteSnapshot without packed sections.
+	// Answers are identical either way; the flag exists for the packed/scan
+	// differential tests and the bench baseline.
+	DisablePacked bool
 }
 
 func (o Options) k() int {
@@ -110,6 +117,11 @@ type Index struct {
 	entries []entry // all Lout lists, then all Lin lists
 	outOff  []int32 // len n+1; Lout(v) = entries[outOff[v]:outOff[v+1]]
 	inOff   []int32 // len n+1; Lin(v)  = entries[inOff[v]:inOff[v+1]]
+
+	// packed, when non-nil, is the bit-parallel hash-consed form of the
+	// entry lists (packed.go); queryByID answers from it and falls back to
+	// the entry scan when absent.
+	packed *packed
 }
 
 // lout returns the Lout(v) slice of the frozen entries array.
@@ -189,6 +201,10 @@ type Stats struct {
 	OutEntries  int64
 	DistinctMRs int
 	SizeBytes   int64
+
+	// Packed summarizes the bit-parallel representation when present
+	// (Packed.Groups == 0 and Packed.Sets == 0 on an unpacked index).
+	Packed PackedStats
 }
 
 // Stats returns summary statistics.
@@ -205,8 +221,14 @@ func (ix *Index) Stats() Stats {
 		OutEntries:  out,
 		DistinctMRs: ix.dict.Len(),
 		SizeBytes:   ix.SizeBytes(),
+		Packed:      ix.PackedStats(),
 	}
 }
+
+// BuildOptions returns the Options the index was built with (the zero value
+// plus K for snapshot-opened indexes). The mutable serving layer uses it to
+// make background folds inherit the base index's build configuration.
+func (ix *Index) BuildOptions() Options { return ix.opts }
 
 // EntryView is a decoded index entry for inspection, validation and tests.
 type EntryView struct {
@@ -320,6 +342,9 @@ func (ix *Index) checkConstraint(l labelseq.Seq) error {
 //
 //rlc:noalloc
 func (ix *Index) queryByID(s, t graph.Vertex, mr labelseq.ID) bool {
+	if ix.packed != nil {
+		return ix.queryPacked(s, t, mr)
+	}
 	outS, inT := ix.lout(s), ix.lin(t)
 	if hasEntry(outS, ix.rank[t], mr) || hasEntry(inT, ix.rank[s], mr) {
 		return true

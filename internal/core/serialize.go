@@ -139,6 +139,7 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 	ix := &Index{
 		g:     g,
 		k:     k,
+		opts:  Options{K: k},
 		dict:  dict,
 		order: make([]graph.Vertex, n),
 		rank:  make([]int32, n),
@@ -220,6 +221,12 @@ func Load(r io.Reader, g *graph.Graph) (*Index, error) {
 		}
 	}
 	if err := ix.freeze(out, in); err != nil {
+		return nil, fmt.Errorf("rlc: load: %w", err)
+	}
+	// v1 files never carry packed sections; derive the bit-parallel form
+	// now so loaded indexes query as fast as freshly built ones. Safe on
+	// hostile input: every hub and mr above was range-checked.
+	if err := ix.pack(); err != nil {
 		return nil, fmt.Errorf("rlc: load: %w", err)
 	}
 	return ix, nil

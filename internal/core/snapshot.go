@@ -40,10 +40,26 @@ const (
 	secIndexInOff  = 12 // int32[n+1]
 	secVertexNames = 13 // optional: count u32, then len u32 + bytes each
 	secLabelNames  = 14 // optional
+
+	// Packed bit-parallel MR-set sections (see packed.go). Optional as a
+	// block: bundles written before the packed form carry none of them and
+	// stay readable byte-for-byte; bundles written with it carry all six.
+	// OpenSnapshot prefers them when present (the mmap zero-copy path then
+	// serves bit-parallel membership directly) and falls back to the entry
+	// array otherwise.
+	secPackedMeta    = 15 // fixed 24 bytes: setCount u32, reserved u32, groupCount u64, wordCount u64
+	secPackedGroups  = 16 // packedGroup[groupCount]: (hub i32, set u32)
+	secPackedOutOff  = 17 // int32[n+1]
+	secPackedInOff   = 18 // int32[n+1]
+	secPackedSets    = 19 // uint64[wordCount], the hash-consed windowed word pool
+	secPackedSetDesc = 20 // setDesc[setCount]: (off u32, base u32, span u32)
 )
 
 // metaSize is the exact size of the meta section.
 const metaSize = 56
+
+// packedMetaSize is the exact size of the packed-meta section.
+const packedMetaSize = 24
 
 // meta flag bits.
 const (
@@ -149,6 +165,21 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 	}
 	if flags&flagLabelNames != 0 {
 		sw.Add(secLabelNames, encodeNames(g.LabelNames()))
+	}
+	if p := ix.packed; p != nil {
+		// The entry sections above stay authoritative and are always
+		// written; the packed block is the redundant accelerated form.
+		le := binary.LittleEndian
+		pm := make([]byte, packedMetaSize)
+		le.PutUint32(pm[0:], uint32(p.numSets))
+		le.PutUint64(pm[8:], uint64(len(p.groups)))
+		le.PutUint64(pm[16:], uint64(len(p.words)))
+		sw.Add(secPackedMeta, pm)
+		sw.Add(secPackedGroups, groupBytes(p.groups))
+		sw.Add(secPackedOutOff, snapshot.I32Bytes(p.outOff))
+		sw.Add(secPackedInOff, snapshot.I32Bytes(p.inOff))
+		sw.Add(secPackedSets, snapshot.U64Bytes(p.words))
+		sw.Add(secPackedSetDesc, descBytes(p.desc))
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := sw.WriteTo(bw); err != nil {
@@ -416,7 +447,111 @@ func newSnapshot(f *snapshot.File) (*Snapshot, error) {
 		outOff:  outOff,
 		inOff:   inOff,
 	}
+	p, err := openPacked(f, n, meta.dictLen)
+	if err != nil {
+		return nil, err
+	}
+	ix.packed = p
+	// Record the representation in the build options so BuildOptions is
+	// truthful for snapshot-opened indexes too: a fold of an unpacked
+	// bundle stays unpacked, a fold of a packed one stays packed.
+	ix.opts.DisablePacked = p == nil
 	return &Snapshot{f: f, ix: ix, g: g, meta: meta}, nil
+}
+
+// openPacked adopts the optional packed bit-parallel sections. A bundle
+// either carries the whole block or none of it: absent packed-meta means an
+// unpacked bundle (nil, queries fall back to the entry scan); a present
+// packed-meta makes the other five sections required, so a partially
+// stripped bundle surfaces as corrupt instead of silently downgrading.
+//
+//rlc:viewowner
+func openPacked(f *snapshot.File, n, dictLen int) (*packed, error) {
+	pm, ok := f.Section(secPackedMeta)
+	if !ok {
+		return nil, nil
+	}
+	if len(pm) != packedMetaSize {
+		return nil, snapshot.Corruptf("packed-meta section is %d bytes, want %d", len(pm), packedMetaSize)
+	}
+	le := binary.LittleEndian
+	setCount := int64(le.Uint32(pm[0:]))
+	reserved := le.Uint32(pm[4:])
+	groupCount := int64(le.Uint64(pm[8:]))
+	wordCount := int64(le.Uint64(pm[16:]))
+	const maxI32 = 1<<31 - 1
+	if reserved != 0 {
+		return nil, snapshot.Corruptf("packed-meta reserved field is %d, want 0", reserved)
+	}
+	if setCount > maxI32 || groupCount > maxI32 || wordCount > maxI32 {
+		return nil, snapshot.Corruptf("implausible packed counts: %d sets, %d groups, %d words", setCount, groupCount, wordCount)
+	}
+	groupsB, err := section(f, secPackedGroups, groupCount*8, "packed-group")
+	if err != nil {
+		return nil, err
+	}
+	outOffB, err := section(f, secPackedOutOff, int64(n+1)*4, "packed out-offset")
+	if err != nil {
+		return nil, err
+	}
+	inOffB, err := section(f, secPackedInOff, int64(n+1)*4, "packed in-offset")
+	if err != nil {
+		return nil, err
+	}
+	setsB, err := section(f, secPackedSets, wordCount*8, "packed-set pool")
+	if err != nil {
+		return nil, err
+	}
+	descB, err := section(f, secPackedSetDesc, setCount*12, "packed-set descriptor")
+	if err != nil {
+		return nil, err
+	}
+	p := &packed{
+		numSets: int32(setCount),
+		desc:    descView(descB),
+		words:   snapshot.U64s(setsB),
+		groups:  groupsView(groupsB),
+		outOff:  snapshot.I32s[int32](outOffB),
+		inOff:   snapshot.I32s[int32](inOffB),
+	}
+	// Every descriptor's window must fit the dictionary's word range and its
+	// stored words must lie inside the pool: has probes words[off+w] for
+	// w < span without further checks.
+	wMax := int64(setWordsFor(dictLen))
+	for i, d := range p.desc {
+		if d.span == 0 || int64(d.base)+int64(d.span) > wMax {
+			return nil, snapshot.Corruptf("packed set %d window [%d, +%d) outside dictionary word range %d", i, d.base, d.span, wMax)
+		}
+		if int64(d.off)+int64(d.span) > wordCount {
+			return nil, snapshot.Corruptf("packed set %d words [%d, +%d) outside pool of %d", i, d.off, d.span, wordCount)
+		}
+	}
+	if p.outOff[0] != 0 || p.outOff[n] != p.inOff[0] || int64(p.inOff[n]) != groupCount {
+		return nil, snapshot.Corruptf("packed offsets span [%d..%d, %d..%d], want [0..x, x..%d]",
+			p.outOff[0], p.outOff[n], p.inOff[0], p.inOff[n], groupCount)
+	}
+	// Per-vertex group lists must have strictly increasing in-range hubs —
+	// groupHas's binary search assumes uniqueness, unlike the entry lists'
+	// weaker hub-sorted-with-runs invariant — and every set id must point
+	// into the pool.
+	for _, off := range [2][]int32{p.outOff, p.inOff} {
+		for v := 0; v < n; v++ {
+			if off[v] > off[v+1] {
+				return nil, snapshot.Corruptf("packed offsets decrease at vertex %d", v)
+			}
+			prev := int32(-1)
+			for _, pg := range p.groups[off[v]:off[v+1]] {
+				if pg.hub <= prev {
+					return nil, snapshot.Corruptf("packed group list of vertex %d not strictly hub-sorted", v)
+				}
+				prev = pg.hub
+				if pg.hub < 0 || int(pg.hub) >= n || int64(pg.set) >= setCount {
+					return nil, snapshot.Corruptf("packed group (%d, %d) of vertex %d out of range", pg.hub, pg.set, v)
+				}
+			}
+		}
+	}
+	return p, nil
 }
 
 // Index returns the snapshot's index, valid until Close.
@@ -460,6 +595,13 @@ func (s *Snapshot) Verify() error {
 	if got := s.g.Fingerprint(); got != s.meta.fp {
 		return fmt.Errorf("%w: %w: bundle records %v, embedded graph hashes to %v",
 			snapshot.ErrCorrupt, ErrGraphMismatch, s.meta.fp, got)
+	}
+	// A packed block whose checksums pass can still disagree with the entry
+	// array it claims to accelerate (a bundle assembled from mismatched
+	// halves checksums clean). Queries answer from the packed form, so
+	// equality with the authoritative entries is part of integrity.
+	if err := s.ix.verifyPacked(); err != nil {
+		return fmt.Errorf("%w: %w", snapshot.ErrCorrupt, err)
 	}
 	return nil
 }
@@ -612,6 +754,88 @@ func entriesView(b []byte) []entry {
 		out[i] = entry{
 			hub: int32(binary.LittleEndian.Uint32(b[i*8:])),
 			mr:  labelseq.ID(binary.LittleEndian.Uint32(b[i*8+4:])),
+		}
+	}
+	return out
+}
+
+// groupBytes returns the little-endian on-disk bytes of a packed-group
+// slice — a zero-copy view on little-endian hosts. Like entry, packedGroup
+// is exactly its on-disk layout: hub i32 then set u32, 8 bytes, no padding.
+func groupBytes(s []packedGroup) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if snapshot.HostLittleEndian() {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	out := make([]byte, len(s)*8)
+	for i, g := range s {
+		binary.LittleEndian.PutUint32(out[i*8:], uint32(g.hub))
+		binary.LittleEndian.PutUint32(out[i*8+4:], g.set)
+	}
+	return out
+}
+
+// groupsView returns b as a packed-group slice — zero-copy when the host is
+// little-endian and the section is aligned, a decoded copy otherwise. The
+// caller must have checked len(b)%8 == 0.
+//
+//rlc:view
+func groupsView(b []byte) []packedGroup {
+	if len(b) == 0 {
+		return nil
+	}
+	if snapshot.HostLittleEndian() && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(packedGroup{}) == 0 {
+		return unsafe.Slice((*packedGroup)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]packedGroup, len(b)/8)
+	for i := range out {
+		out[i] = packedGroup{
+			hub: int32(binary.LittleEndian.Uint32(b[i*8:])),
+			set: binary.LittleEndian.Uint32(b[i*8+4:]),
+		}
+	}
+	return out
+}
+
+// descBytes returns the little-endian on-disk bytes of a set-descriptor
+// slice — a zero-copy view on little-endian hosts. setDesc is exactly its
+// on-disk layout: off, base, span as u32, 12 bytes, no padding.
+func descBytes(s []setDesc) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if snapshot.HostLittleEndian() {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*12)
+	}
+	out := make([]byte, len(s)*12)
+	for i, d := range s {
+		binary.LittleEndian.PutUint32(out[i*12:], d.off)
+		binary.LittleEndian.PutUint32(out[i*12+4:], d.base)
+		binary.LittleEndian.PutUint32(out[i*12+8:], d.span)
+	}
+	return out
+}
+
+// descView returns b as a set-descriptor slice — zero-copy when the host is
+// little-endian and the section is aligned, a decoded copy otherwise. The
+// caller must have checked len(b)%12 == 0.
+//
+//rlc:view
+func descView(b []byte) []setDesc {
+	if len(b) == 0 {
+		return nil
+	}
+	if snapshot.HostLittleEndian() && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(setDesc{}) == 0 {
+		return unsafe.Slice((*setDesc)(unsafe.Pointer(&b[0])), len(b)/12)
+	}
+	out := make([]setDesc, len(b)/12)
+	for i := range out {
+		out[i] = setDesc{
+			off:  binary.LittleEndian.Uint32(b[i*12:]),
+			base: binary.LittleEndian.Uint32(b[i*12+4:]),
+			span: binary.LittleEndian.Uint32(b[i*12+8:]),
 		}
 	}
 	return out

@@ -132,7 +132,7 @@ func (s *Server) rebuildOnce() (res RebuildResult, err error) {
 	start := time.Now()
 	defer func() { s.finishRebuild(&res, start, err) }()
 
-	union, folded, k, err := s.foldInput()
+	union, folded, buildOpts, err := s.foldInput()
 	if err != nil {
 		return res, err
 	}
@@ -141,7 +141,8 @@ func (s *Server) rebuildOnce() (res RebuildResult, err error) {
 		return res, nil
 	}
 
-	ix, err := core.Build(union, core.Options{K: k, BuildWorkers: s.opts.RebuildWorkers})
+	buildOpts.BuildWorkers = s.opts.RebuildWorkers
+	ix, err := core.Build(union, buildOpts)
 	if err != nil {
 		err = fmt.Errorf("server: fold rebuild: %w", err)
 		return res, err
@@ -186,16 +187,21 @@ func (s *Server) rebuildOnce() (res RebuildResult, err error) {
 }
 
 // foldInput pins the serving generation just long enough to materialize
-// base ∪ journal and read the build parameters. The pin is defer-scoped so a
+// base ∪ journal and read the build parameters. The fold inherits the base
+// index's build options (k, packed/unpacked, pruning flags) so a rebuilt
+// epoch answers from the same representation the base did — in particular,
+// folds of a packed base emit packed bundles. The pin is defer-scoped so a
 // panic inside FoldInput cannot strand the generation's snapshot.
-func (s *Server) foldInput() (union *graph.Graph, folded, k int, err error) {
+func (s *Server) foldInput() (union *graph.Graph, folded int, opts core.Options, err error) {
 	st := s.store.acquire()
 	if st == nil {
-		return nil, 0, 0, errServerClosed
+		return nil, 0, core.Options{}, errServerClosed
 	}
 	defer st.release()
 	union, folded = st.delta.FoldInput()
-	return union, folded, st.ix.K(), nil
+	opts = st.ix.BuildOptions()
+	opts.K = st.ix.K()
+	return union, folded, opts, nil
 }
 
 // installFolded pauses writers, carries the un-folded journal tail into the

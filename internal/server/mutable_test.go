@@ -397,10 +397,21 @@ func unionOf(g *graph.Graph, extra []graph.Edge) *graph.Graph {
 	return b.Build()
 }
 
+// soakConfig sizes one mutable-soak run (see runMutableSoak).
+type soakConfig struct {
+	nVertices, nLabels, baseEdges int
+	inserts, threshold            int
+	readers, perReader, poolSize  int
+	disablePacked                 bool // base (and thus every fold) on the scan path
+}
+
 // TestMutableSoakOracle is the headline exactness proof: ≥100k mixed
 // queries race concurrent single-edge inserts across ≥3 background
 // rebuild/hot-swap epochs (each fold writing and mmapping a fresh v2
 // bundle), and EVERY answer is checked against a linearizability oracle.
+// The base index is packed (the default), so every fold emits and hot-swaps
+// a bundle with packed sections — the bit-parallel path is held to the same
+// envelope.
 //
 // The oracle: insertions are pre-planned, and for each pool query q the
 // enabling prefix e(q) — the number of applied inserts after which q first
@@ -412,18 +423,40 @@ func unionOf(g *graph.Graph, extra []graph.Edge) *graph.Graph {
 // the linearizable envelope. Any stale cache entry, torn epoch swap, or
 // lost journal edge lands outside it.
 func TestMutableSoakOracle(t *testing.T) {
+	runMutableSoak(t, soakConfig{
+		nVertices: 200, nLabels: 2, baseEdges: 500,
+		inserts: 900, threshold: 250, // 900 inserts / 250 => >= 3 background folds
+		readers: 4, perReader: 25000, poolSize: 96, // 4 x 25k = 100k queries
+	})
+}
+
+// TestMutableSoakOracleScanPath re-runs the soak (reduced volume) with the
+// packed form disabled on the base index: folds inherit DisablePacked, so
+// every rebuilt bundle stays on the linear-scan path — pinning that the
+// fold option inheritance works and that the scan fallback meets the same
+// linearizability envelope.
+func TestMutableSoakOracleScanPath(t *testing.T) {
+	runMutableSoak(t, soakConfig{
+		nVertices: 120, nLabels: 2, baseEdges: 300,
+		inserts: 300, threshold: 100, // still >= 3 folds
+		readers: 4, perReader: 8000, poolSize: 64,
+		disablePacked: true,
+	})
+}
+
+func runMutableSoak(t *testing.T, cfg soakConfig) {
 	if testing.Short() {
 		t.Skip("soak skipped in -short mode")
 	}
-	const (
-		nVertices = 200
-		nLabels   = 2
-		baseEdges = 500
-		inserts   = 900
-		threshold = 250 // 900 inserts / 250 => >= 3 background folds
-		readers   = 4
-		perReader = 25000 // 4 x 25k = 100k queries
-		poolSize  = 96
+	var (
+		nVertices = cfg.nVertices
+		nLabels   = cfg.nLabels
+		baseEdges = cfg.baseEdges
+		inserts   = cfg.inserts
+		threshold = cfg.threshold
+		readers   = cfg.readers
+		perReader = cfg.perReader
+		poolSize  = cfg.poolSize
 	)
 	r := rand.New(rand.NewSource(77))
 	g, err := genER(nVertices, baseEdges, nLabels, 13)
@@ -489,7 +522,11 @@ func TestMutableSoakOracle(t *testing.T) {
 
 	path := filepath.Join(t.TempDir(), "soak.rlcs")
 	var folds atomic.Int64
-	srv := New(buildIndex(t, g), Options{
+	base, err := core.Build(g, core.Options{K: 2, DisablePacked: cfg.disablePacked})
+	if err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	srv := New(base, Options{
 		Mutable:          true,
 		RebuildThreshold: threshold,
 		RebuildPath:      path,
@@ -514,7 +551,7 @@ func TestMutableSoakOracle(t *testing.T) {
 	// reader progress, and readers may run only a bounded distance ahead
 	// of the writer — otherwise 100k mostly-cached queries finish before
 	// the epochs they are supposed to span.
-	pace := int64(readers*perReader) / inserts
+	pace := int64(readers*perReader) / int64(inserts)
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	for w := 0; w < readers; w++ {
@@ -584,7 +621,7 @@ func TestMutableSoakOracle(t *testing.T) {
 	if ms.Epoch < 3 {
 		t.Fatalf("soak spanned %d rebuild epochs, want >= 3", ms.Epoch)
 	}
-	if ms.Writes != inserts {
+	if ms.Writes != uint64(inserts) {
 		t.Fatalf("writes counter = %d, want %d", ms.Writes, inserts)
 	}
 	final := prefix(inserts)
@@ -601,5 +638,20 @@ func TestMutableSoakOracle(t *testing.T) {
 		if got != want {
 			t.Fatalf("final answer (%d,%d,%v+) = %v, ground truth %v", q.s, q.t, q.l, got, want)
 		}
+	}
+
+	// The last fold's bundle on disk must verify and carry the base's
+	// representation: packed sections when the base was packed, none when
+	// the soak ran the scan path.
+	snap, err := core.OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("open folded bundle: %v", err)
+	}
+	defer snap.Close()
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("folded bundle fails Verify: %v", err)
+	}
+	if got, want := snap.Index().Packed(), !cfg.disablePacked; got != want {
+		t.Fatalf("folded bundle packed = %v, want %v", got, want)
 	}
 }

@@ -67,6 +67,25 @@ func I64s(b []byte) []int64 {
 	return out
 }
 
+// U64s returns b as little-endian uint64s (the packed MR-set pool) — a
+// zero-copy view when possible, a decoded copy otherwise. The caller must
+// have checked len(b)%8 == 0.
+//
+//rlc:view
+func U64s(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if viewable(b, 8) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
 // I32Bytes returns the raw little-endian bytes of s for writing — the
 // inverse view of I32s, copying only on big-endian hosts.
 //
@@ -98,6 +117,23 @@ func I64Bytes(s []int64) []byte {
 	out := make([]byte, len(s)*8)
 	for i, v := range s {
 		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// U64Bytes returns the raw little-endian bytes of s for writing.
+//
+//rlc:view
+func U64Bytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	out := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(out[i*8:], v)
 	}
 	return out
 }
