@@ -1,0 +1,269 @@
+package rlc_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// servingProc is one binary under test that has reported its listen
+// address; terminate shuts it down and asserts a clean drain.
+type servingProc struct {
+	name  string
+	cmd   *exec.Cmd
+	base  string
+	outCh chan string
+}
+
+// startServing launches a binary that prints "serving on ADDR" and waits
+// for that line, returning the process with its base URL.
+func startServing(t *testing.T, name string, bin string, args ...string) *servingProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	addrCh := make(chan string, 1)
+	outCh := make(chan string, 1)
+	go func() {
+		var all strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := stdout.Read(buf)
+			all.Write(buf[:n])
+			if m := addrRe.FindStringSubmatch(all.String()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			if err != nil {
+				outCh <- all.String()
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &servingProc{name: name, cmd: cmd, base: "http://" + addr, outCh: outCh}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not report its listen address", name)
+		return nil
+	}
+}
+
+func (p *servingProc) terminate(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM %s: %v", p.name, err)
+	}
+	var out string
+	select {
+	case out = <-p.outCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not close stdout after SIGTERM", p.name)
+	}
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- p.cmd.Wait() }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatalf("%s exited non-zero after SIGTERM: %v\n%s", p.name, err, out)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not exit after SIGTERM", p.name)
+	}
+	if !strings.Contains(out, "shut down cleanly") {
+		t.Errorf("%s missing graceful-shutdown report:\n%s", p.name, out)
+	}
+}
+
+type healthView struct {
+	Role              string `json:"role"`
+	Epoch             uint64 `json:"epoch"`
+	JournalSeq        uint64 `json:"journal_seq"`
+	BundleFingerprint string `json:"bundle_fingerprint"`
+}
+
+func getHealth(t *testing.T, base string) healthView {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	var h healthView
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz %s: %v", base, err)
+	}
+	return h
+}
+
+// TestCLICluster drives the replicated tier end to end through the real
+// binaries: a leader, two followers, and a router on ephemeral ports; a
+// write through the router is read back through its own pin token, a fold
+// cuts both followers over to an identical bundle, and every process
+// drains cleanly on SIGTERM.
+func TestCLICluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI cluster test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	rlcgen := buildTool(t, dir, "rlcgen")
+	rlccluster := buildTool(t, dir, "rlccluster")
+	rlcrouter := buildTool(t, dir, "rlcrouter")
+
+	graphFile := filepath.Join(dir, "fig2.graph")
+	if out, err := exec.Command(rlcgen, "-model", "fig2", "-out", graphFile).CombinedOutput(); err != nil {
+		t.Fatalf("rlcgen fig2: %v\n%s", err, out)
+	}
+
+	leader := startServing(t, "leader", rlccluster,
+		"-role", "leader", "-graph", graphFile, "-addr", "127.0.0.1:0")
+	var followers []*servingProc
+	for i := 0; i < 2; i++ {
+		followers = append(followers, startServing(t, fmt.Sprintf("follower%d", i), rlccluster,
+			"-role", "follower", "-graph", graphFile, "-leader", leader.base,
+			"-poll-wait", "250ms", "-addr", "127.0.0.1:0"))
+	}
+	rtr := startServing(t, "router", rlcrouter,
+		"-leader", leader.base,
+		"-followers", followers[0].base+","+followers[1].base,
+		"-health-interval", "50ms", "-addr", "127.0.0.1:0")
+
+	// v6 has no outgoing edges in Fig. 2, so (v6, v4, l3+) is false until
+	// the edge v6 -l3-> v4 is inserted.
+	query := func(pin string) (bool, *http.Response) {
+		req, err := http.NewRequest(http.MethodGet, rtr.base+"/query?s=v6&t=v4&l=l3", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pin != "" {
+			req.Header.Set("X-Rlc-Pin", pin)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("routed query: %v", err)
+		}
+		defer resp.Body.Close()
+		var qr struct {
+			Reachable bool `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decode query: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed query status %d", resp.StatusCode)
+		}
+		return qr.Reachable, resp
+	}
+
+	if got, _ := query(""); got {
+		t.Fatal("(v6, v4, l3+) should be false before the insert")
+	}
+
+	// Write through the router; its response token pins the read.
+	resp, err := http.Post(rtr.base+"/update", "application/json",
+		strings.NewReader(`{"s":"v6","l":"l3","t":"v4"}`))
+	if err != nil {
+		t.Fatalf("routed update: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed update status %d", resp.StatusCode)
+	}
+	token := resp.Header.Get("X-Rlc-Pin")
+	if token == "" {
+		t.Fatal("routed update minted no pin token")
+	}
+
+	// Read-your-write: pinned at the write token, whichever replica serves.
+	if got, qresp := query(token); !got {
+		t.Fatalf("pinned read at %s missed the write (served by %s)",
+			token, qresp.Header.Get("X-Rlc-Backend"))
+	}
+
+	// Fold on the leader; both followers must cut over to the identical
+	// bundle (same epoch, sequence, and fingerprint as the leader).
+	resp, err = http.Post(rtr.base+"/rebuild", "application/json", nil)
+	if err != nil {
+		t.Fatalf("routed rebuild: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed rebuild status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	want := getHealth(t, leader.base)
+	if want.Epoch == 0 {
+		t.Fatalf("leader still at epoch 0 after fold: %+v", want)
+	}
+	for _, f := range followers {
+		for {
+			got := getHealth(t, f.base)
+			if got == (healthView{Role: "follower", Epoch: want.Epoch,
+				JournalSeq: want.JournalSeq, BundleFingerprint: want.BundleFingerprint}) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never converged: follower %+v, leader %+v", f.name, got, want)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The write survived the cutover on every node.
+	for _, p := range []*servingProc{leader, followers[0], followers[1]} {
+		resp, err := http.Get(p.base + "/query?s=v6&t=v4&l=l3")
+		if err != nil {
+			t.Fatalf("%s query: %v", p.name, err)
+		}
+		var qr struct {
+			Reachable bool `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("%s decode: %v", p.name, err)
+		}
+		resp.Body.Close()
+		if !qr.Reachable {
+			t.Fatalf("%s lost the write across the cutover", p.name)
+		}
+	}
+
+	// A follower must refuse direct client writes.
+	resp, err = http.Post(followers[0].base+"/update", "application/json",
+		strings.NewReader(`{"s":"v6","l":"l3","t":"v5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("direct follower write answered %d, want 403", resp.StatusCode)
+	}
+
+	rtr.terminate(t)
+	for _, f := range followers {
+		f.terminate(t)
+	}
+	leader.terminate(t)
+}

@@ -22,6 +22,8 @@ var cliTools = map[string]string{
 	"rlcgen":     "rlcgen — generate synthetic graphs and query workloads",
 	"rlcinspect": "rlcinspect — print RLC index internals: stats, distributions, entry sets",
 	"rlcbench":   "rlcbench — reproduce the paper's experimental tables and figures",
+	"rlccluster": "rlccluster — run a replicated RLC serving node: a journal-streaming leader or a self-healing follower",
+	"rlcrouter":  "rlcrouter — epoch-pinned router for a replicated RLC cluster: health-aware read fan-out, hedged tail latency, monotone consistency tokens",
 }
 
 func buildTool(t *testing.T, dir, tool string) string {

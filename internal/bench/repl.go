@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/cluster"
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/datasets"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/server"
+)
+
+// replConvergeTimeout bounds each wait for the follower to reach a target
+// replication state; a stall is an experiment failure, not a hung run.
+const replConvergeTimeout = 2 * time.Minute
+
+// RunRepl measures the replicated serving tier (internal/cluster): a
+// leader and one follower on loopback HTTP, the ingest experiment's
+// withheld edge stream driven into the leader while the follower
+// long-polls, applies checksummed journal segments, and finally cuts over
+// to the leader's folded bundle. Reported per dataset: leader-side ingest
+// time, the follower's residual replication lag once ingestion stops, the
+// sustained replication rate, and the wall time of a full epoch cutover
+// (bundle ship + verify + journal-tail hot swap). Exactness is gated
+// after the cutover: the FOLLOWER must answer the full fig3-style query
+// pool exactly per the full-graph ground truth, at the leader's exact
+// coordinates and fingerprint, or the experiment fails.
+func RunRepl(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := &Table{
+		ID:    "repl",
+		Title: "Replicated serving: journal streaming and bundle cutover over loopback HTTP",
+		Columns: []string{"Dataset", "Base edges", "Inserts", "Segments",
+			"Ingest ms", "Lag ms", "Repl edges/s", "Cutover ms"},
+		Notes: []string{fmt.Sprintf(
+			"1-in-%d withheld edges streamed into the leader as single-edge writes; one follower replicating over loopback HTTP (long-poll segments, then one fold/bundle cutover).",
+			ingestHoldout),
+			"Lag ms is how long the follower needed to drain the remaining journal after the last leader write returned; Cutover ms spans the leader's fold through the follower serving the folded epoch.",
+			"Exactness gate: after the cutover the follower must answer the full query pool per the full-graph ground truth at the leader's exact coordinates and fingerprint.",
+			"Single-core numbers: leader, follower, and the HTTP stack share one CPU here, so replication steals serving time it would not on real hardware."},
+	}
+
+	for _, d := range datasets.All() {
+		if !cfg.wantDataset(d.Name) {
+			continue
+		}
+		cfg.progressf("repl: %s", d.Name)
+		if err := runReplDataset(cfg, d, tab); err != nil {
+			return nil, err
+		}
+	}
+	return []*Table{tab}, nil
+}
+
+func runReplDataset(cfg Config, d datasets.Dataset, tab *Table) error {
+	g, err := replica(cfg, d)
+	if err != nil {
+		return fmt.Errorf("repl: %s: %w", d.Name, err)
+	}
+	w, err := buildWorkload(cfg, g, 2)
+	if err != nil {
+		return fmt.Errorf("repl: %s: %w", d.Name, err)
+	}
+
+	// Same split as the ingest experiment: a shuffled tenth of the edges
+	// withheld from the base and streamed back as live leader writes.
+	edges := g.Edges()
+	r := rand.New(rand.NewSource(cfg.Seed*104729 + 7))
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	split := len(edges) - len(edges)/ingestHoldout
+	baseB := graph.NewBuilder(g.NumVertices(), g.NumLabels())
+	baseB.SetVertexNames(g.VertexNames())
+	baseB.SetLabelNames(g.LabelNames())
+	for _, e := range edges[:split] {
+		baseB.AddEdge(e.Src, e.Label, e.Dst)
+	}
+	base := baseB.Build()
+	stream := edges[split:]
+
+	build := func(role string) (*server.Server, error) {
+		ix, err := core.Build(base, core.Options{K: 2})
+		if err != nil {
+			return nil, err
+		}
+		return server.New(ix, server.Options{Mutable: true, RebuildThreshold: -1, Role: role}), nil
+	}
+	leaderSrv, err := build("leader")
+	if err != nil {
+		return fmt.Errorf("repl: %s: %w", d.Name, err)
+	}
+	defer leaderSrv.Close()
+	folSrv, err := build("follower")
+	if err != nil {
+		return fmt.Errorf("repl: %s: %w", d.Name, err)
+	}
+	defer folSrv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("repl: %s: listen: %w", d.Name, err)
+	}
+	httpSrv := &http.Server{Handler: cluster.NewLeader(leaderSrv).Handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- httpSrv.Serve(ln) }()
+	defer func() {
+		httpSrv.Close()
+		<-serveDone
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fol := cluster.NewFollower(folSrv, cluster.FollowerOptions{
+		LeaderURL:     "http://" + ln.Addr().String(),
+		PollWait:      100 * time.Millisecond,
+		RetryInterval: 10 * time.Millisecond,
+	})
+	replDone := make(chan error, 1)
+	go func() { replDone <- fol.Run(ctx) }()
+
+	waitState := func(what string, cond func(server.ReplState) bool) error {
+		deadline := time.Now().Add(replConvergeTimeout)
+		for {
+			if cond(folSrv.ReplState()) {
+				return nil
+			}
+			select {
+			case err := <-replDone:
+				return fmt.Errorf("repl: %s: replication stopped waiting for %s: %w", d.Name, what, err)
+			default:
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("repl: %s: follower never reached %s (at %+v)", d.Name, what, folSrv.ReplState())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Phase 1: stream every withheld edge into the leader while the
+	// follower replicates live, then measure its residual lag.
+	start := time.Now()
+	for i, e := range stream {
+		if _, err := leaderSrv.UpdateBatch([]graph.Edge{e}); err != nil {
+			return fmt.Errorf("repl: %s: insert %d: %w", d.Name, i, err)
+		}
+	}
+	ingest := time.Since(start)
+	if err := waitState("journal catch-up", func(rs server.ReplState) bool {
+		return rs.Seq == uint64(len(stream))
+	}); err != nil {
+		return err
+	}
+	shipped := time.Since(start)
+	lag := shipped - ingest
+
+	// Phase 2: one fold on the leader; the follower must ship the bundle
+	// and hot-swap onto the folded epoch.
+	cutStart := time.Now()
+	if _, err := leaderSrv.Rebuild(); err != nil {
+		return fmt.Errorf("repl: %s: fold: %w", d.Name, err)
+	}
+	want := leaderSrv.ReplState()
+	if err := waitState("epoch cutover", func(rs server.ReplState) bool {
+		return rs.Epoch == want.Epoch && rs.Seq == want.Seq
+	}); err != nil {
+		return err
+	}
+	cutover := time.Since(cutStart)
+
+	// Exactness gate: the follower, now on the folded epoch, answers the
+	// full pool per the full-graph ground truth at the leader's exact
+	// coordinates.
+	if got := folSrv.ReplState(); got.Fingerprint != want.Fingerprint {
+		return fmt.Errorf("repl: %s: follower fingerprint %s diverges from leader %s",
+			d.Name, got.Fingerprint, want.Fingerprint)
+	}
+	for _, q := range w.All() {
+		got, _, err := folSrv.AnswerRLC(ctx, q.S, q.T, q.L)
+		if err != nil {
+			return fmt.Errorf("repl: %s: follower verify: %w", d.Name, err)
+		}
+		if got != q.Expected {
+			return fmt.Errorf("repl: %s: follower served %v for (%d, %d, %v+), ground truth %v",
+				d.Name, got, q.S, q.T, q.L, q.Expected)
+		}
+	}
+
+	cancel()
+	if err := <-replDone; !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("repl: %s: follower loop: %w", d.Name, err)
+	}
+
+	st := fol.Stats()
+	tab.Rows = append(tab.Rows, []string{
+		d.Name,
+		fmt.Sprintf("%d", base.NumEdges()),
+		fmt.Sprintf("%d", len(stream)),
+		fmt.Sprintf("%d", st.Segments),
+		fmt.Sprintf("%.1f", float64(ingest.Microseconds())/1e3),
+		fmt.Sprintf("%.1f", float64(lag.Microseconds())/1e3),
+		fmtCount(int64(float64(len(stream)) / shipped.Seconds())),
+		fmt.Sprintf("%.1f", float64(cutover.Microseconds())/1e3),
+	})
+	return nil
+}

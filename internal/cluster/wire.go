@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// Segment wire format. A segment stream is a sequence of frames, each
+//
+//	[u32 payloadLen][payload][u32 crc32c(payload)]
+//
+// with the payload
+//
+//	[u64 startSeq][u32 count][count × (i32 src, i32 label, i32 dst)]
+//
+// all little-endian. startSeq is the global insert sequence of the first
+// edge, so frames are self-describing: a follower can verify contiguity
+// frame by frame. The stream ends at clean EOF; a frame cut off mid-way or
+// failing its checksum is a wire error, never a short success.
+const (
+	// MaxSegmentEdges caps the edges encoded in one frame; larger exports
+	// are chunked. The cap also bounds what a reader will allocate for a
+	// single frame before the checksum has been verified.
+	MaxSegmentEdges = 512
+
+	edgeBytes        = 12
+	segmentHeadBytes = 12 // startSeq + count
+	maxPayloadBytes  = segmentHeadBytes + MaxSegmentEdges*edgeBytes
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errWire classifies every malformed-stream failure: truncation, checksum
+// mismatch, or an implausible frame size.
+var errWire = errors.New("cluster: corrupt segment stream")
+
+// WriteSegments encodes edges starting at global sequence startSeq as a
+// sequence of checksummed frames, chunking at MaxSegmentEdges.
+func WriteSegments(w io.Writer, startSeq uint64, edges []graph.Edge) error {
+	for len(edges) > 0 {
+		n := len(edges)
+		if n > MaxSegmentEdges {
+			n = MaxSegmentEdges
+		}
+		if err := writeSegment(w, startSeq, edges[:n]); err != nil {
+			return err
+		}
+		startSeq += uint64(n)
+		edges = edges[n:]
+	}
+	return nil
+}
+
+func writeSegment(w io.Writer, startSeq uint64, edges []graph.Edge) error {
+	le := binary.LittleEndian
+	payload := make([]byte, segmentHeadBytes+len(edges)*edgeBytes)
+	le.PutUint64(payload[0:], startSeq)
+	le.PutUint32(payload[8:], uint32(len(edges)))
+	for i, e := range edges {
+		off := segmentHeadBytes + i*edgeBytes
+		le.PutUint32(payload[off:], uint32(e.Src))
+		le.PutUint32(payload[off+4:], uint32(e.Label))
+		le.PutUint32(payload[off+8:], uint32(e.Dst))
+	}
+	frame := make([]byte, 4+len(payload)+4)
+	le.PutUint32(frame[0:], uint32(len(payload)))
+	copy(frame[4:], payload)
+	le.PutUint32(frame[4+len(payload):], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadSegment decodes the next frame from r. A clean end of stream returns
+// io.EOF; anything short or inconsistent — including a frame whose header
+// arrived but whose body did not — wraps errWire, so a truncated transfer
+// can never be mistaken for a complete one.
+func ReadSegment(r io.Reader) (startSeq uint64, edges []graph.Edge, err error) {
+	le := binary.LittleEndian
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: frame length: %v", errWire, err)
+	}
+	payloadLen := int(le.Uint32(lenBuf[:]))
+	if payloadLen < segmentHeadBytes || payloadLen > maxPayloadBytes ||
+		(payloadLen-segmentHeadBytes)%edgeBytes != 0 {
+		return 0, nil, fmt.Errorf("%w: implausible payload length %d", errWire, payloadLen)
+	}
+	buf := make([]byte, payloadLen+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame: %v", errWire, err)
+	}
+	payload := buf[:payloadLen]
+	if got, want := crc32.Checksum(payload, castagnoli), le.Uint32(buf[payloadLen:]); got != want {
+		return 0, nil, fmt.Errorf("%w: frame checksum mismatch (%08x != %08x)", errWire, got, want)
+	}
+	startSeq = le.Uint64(payload[0:])
+	count := int(le.Uint32(payload[8:]))
+	if count != (payloadLen-segmentHeadBytes)/edgeBytes {
+		return 0, nil, fmt.Errorf("%w: count %d disagrees with payload size %d", errWire, count, payloadLen)
+	}
+	edges = make([]graph.Edge, count)
+	for i := range edges {
+		off := segmentHeadBytes + i*edgeBytes
+		edges[i] = graph.Edge{
+			Src:   graph.Vertex(le.Uint32(payload[off:])),
+			Label: graph.Label(le.Uint32(payload[off+4:])),
+			Dst:   graph.Vertex(le.Uint32(payload[off+8:])),
+		}
+	}
+	return startSeq, edges, nil
+}

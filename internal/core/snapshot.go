@@ -570,6 +570,14 @@ func (s *Snapshot) Mapped() bool { return s.f.Mapped() }
 // SizeBytes returns the byte size of the open bundle.
 func (s *Snapshot) SizeBytes() int64 { return s.f.Size() }
 
+// Bytes returns the complete raw bundle, aliasing the mapping. It is how
+// the replication layer ships the exact serving bundle to followers
+// without a re-serialization: the bytes are already checksummed,
+// fingerprinted, and self-contained. The slice must not be mutated and is
+// valid only while the snapshot stays open — callers must pin whatever
+// owns the snapshot for the duration of the copy.
+func (s *Snapshot) Bytes() []byte { return s.f.Bytes() }
+
 // K returns the recursive k the snapshot's index supports.
 func (s *Snapshot) K() int { return s.meta.k }
 

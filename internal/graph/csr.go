@@ -134,6 +134,15 @@ func (fp Fingerprint) String() string {
 	return fmt.Sprintf("n=%d m=%d labels=%d edgehash=%016x", fp.N, fp.M, fp.NumLabels, fp.EdgeHash)
 }
 
+// Compact renders the fingerprint as a single space-free token
+// ("n.m.labels.edgehash"), the form the replication protocol puts in HTTP
+// headers and /healthz so two processes can compare served bundles without
+// parsing prose. It is injective over the struct, so equal tokens mean
+// equal fingerprints.
+func (fp Fingerprint) Compact() string {
+	return fmt.Sprintf("%d.%d.%d.%016x", fp.N, fp.M, fp.NumLabels, fp.EdgeHash)
+}
+
 // Fingerprint computes the graph's fingerprint. O(m), allocation-free.
 func (g *Graph) Fingerprint() Fingerprint {
 	const (

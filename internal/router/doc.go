@@ -1,0 +1,27 @@
+// Package router is the client-facing entry point of a replicated RLC
+// serving tier: it fans reads out over follower replicas, forwards writes
+// to the leader, and hands every client a consistency token so reads never
+// go backwards even as replicas lag, fail, and cut over epochs.
+//
+// Routing is health-aware: a background poller reads each replica's
+// /healthz — role, applied sequence (journal_seq), epoch, and bundle
+// fingerprint — and the dispatcher only considers replicas it has seen
+// healthy. The cached sequence is a safe lower bound (a replica's sequence
+// only grows), so the pinning rule is race-free without per-request
+// coordination: a request pinned at (epoch, seq) is routed only to
+// replicas whose known sequence is at least seq, with the leader as the
+// always-consistent fallback.
+//
+// Tokens ride the X-Rlc-Pin header (or pin= query parameter) as
+// "epoch:seq". Every response carries the token back, advanced to the
+// serving replica's coordinates when those are newer — echo it into the
+// next request and reads are monotone and read-your-writes across the
+// whole tier: an update's response token covers the write, and any replica
+// at or past it reflects the write (inserts are monotone, so sequence
+// dominance implies answer dominance).
+//
+// Tail latency is hedged: when the first-choice replica has not answered
+// within the hedge delay, the same query is fired at a second eligible
+// replica and the first response wins. Hedging applies to idempotent reads
+// only; writes go to the leader exactly once.
+package router

@@ -24,6 +24,10 @@ type UpdateResult struct {
 	Journal int `json:"journal"`
 	// Epoch is the fold epoch the batch landed in.
 	Epoch uint64 `json:"epoch"`
+	// Seq is the global insert sequence after the batch — a consistency
+	// token at least as new as every edge in it: a replica serving at or
+	// past (Epoch, Seq) reflects the write (read-your-writes routing).
+	Seq uint64 `json:"seq"`
 	// RebuildTriggered reports that this batch pushed the journal across
 	// the threshold and a background fold was started.
 	RebuildTriggered bool `json:"rebuild_triggered"`
@@ -73,10 +77,14 @@ func (s *Server) UpdateBatch(edges []graph.Edge) (UpdateResult, error) {
 	// new edges carry an older stamp and are never served to requests
 	// that start after this call returns.
 	s.store.writes.Add(uint64(len(edges)))
+	// Epoch and Seq come from the pinned generation the batch landed in
+	// (updateMu excludes a concurrent fold's swap, so it IS the current
+	// one) — mutually consistent coordinates for the write token.
 	res := UpdateResult{
 		Accepted: len(edges),
 		Journal:  st.delta.JournalLen(),
-		Epoch:    s.epoch.Load(),
+		Epoch:    st.epoch,
+		Seq:      st.seqNow(),
 	}
 	if thr := s.opts.RebuildThreshold; thr > 0 && res.Journal >= thr {
 		res.RebuildTriggered = s.TriggerRebuild()
@@ -222,12 +230,19 @@ func (s *Server) installFolded(ix *core.Index, src *core.Snapshot, folded int, s
 	}
 	defer st.release()
 	tail := st.delta.JournalTail(folded)
+	// The new generation advances the replication timeline: one more epoch,
+	// and the folded journal prefix moves under the base (seqBase). Derived
+	// from the pinned pre-fold state so a racing reader's (epoch, seq)
+	// translation stays consistent with whichever generation it pinned.
+	epoch = st.epoch + 1
+	seqBase := st.seqBase + uint64(folded)
 	if src != nil {
-		s.store.SwapFolded(ix, src, tail, source)
+		s.store.SwapFolded(ix, src, tail, source, epoch, seqBase)
 	} else {
-		s.store.SwapFolded(ix, nil, tail, source)
+		s.store.SwapFolded(ix, nil, tail, source, epoch, seqBase)
 	}
-	return len(tail), s.epoch.Add(1), nil
+	s.epoch.Store(epoch)
+	return len(tail), epoch, nil
 }
 
 // finishRebuild records fold telemetry and fires the OnRebuild callback.
@@ -272,15 +287,23 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) bool {
 	if !s.opts.Mutable {
 		return writeErr(w, http.StatusNotImplemented, errNotMutable)
 	}
+	if s.opts.Role == "follower" {
+		return writeErr(w, http.StatusForbidden, errNotLeader)
+	}
 	st := s.store.acquire()
 	if st == nil {
 		return writeError(w, http.StatusServiceUnavailable, "server closed")
 	}
 	defer st.release()
+	s.limitBody(w, r)
 	var req updateRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return writeErr(w, http.StatusRequestEntityTooLarge, err)
+		}
 		return writeError(w, http.StatusBadRequest, "decode request: %v", err)
 	}
 	inputs := req.Edges
@@ -306,6 +329,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) bool {
 	if err != nil {
 		return writeErr(w, http.StatusUnprocessableEntity, err)
 	}
+	// Write token headers come from the batch's own result, not the
+	// handler's pin: a fold may have swapped generations between this
+	// handler's acquire and the batch landing, and the token must describe
+	// the generation that actually took the write.
+	h := w.Header()
+	h.Set(HeaderEpoch, strconv.FormatUint(res.Epoch, 10))
+	h.Set(HeaderSeq, strconv.FormatUint(res.Seq, 10))
 	return writeJSON(w, http.StatusOK, res)
 }
 
@@ -376,6 +406,9 @@ type rebuildResponse struct {
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) bool {
 	if !s.opts.Mutable {
 		return writeErr(w, http.StatusNotImplemented, errNotMutable)
+	}
+	if s.opts.Role == "follower" {
+		return writeErr(w, http.StatusForbidden, errNotLeader)
 	}
 	res, err := s.Rebuild()
 	if err != nil {

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+)
+
+// Replication coordinate headers. Query and update responses carry the
+// serving generation's (epoch, seq) so routers can hand clients a
+// consistency token; the repl endpoints use the full set as their
+// handshake. Names are pre-canonicalized to net/http's MIME form.
+const (
+	// HeaderEpoch is the serving epoch (completed folds) of the generation
+	// that produced the response.
+	HeaderEpoch = "X-Rlc-Epoch"
+	// HeaderSeq is the global insert sequence the response covers: for
+	// queries, a floor captured before the answer was computed (the answer
+	// reflects at least this much of the log); for updates, the sequence
+	// after the batch landed (a token at least as new as the write).
+	HeaderSeq = "X-Rlc-Seq"
+	// HeaderSeqBase is the sequence already folded into the serving base —
+	// a follower whose cursor is below it must cut over to the bundle.
+	HeaderSeqBase = "X-Rlc-Seq-Base"
+	// HeaderFingerprint is the compact fingerprint of the serving base
+	// graph (graph.Fingerprint.Compact).
+	HeaderFingerprint = "X-Rlc-Fingerprint"
+)
+
+// Replication failure sentinels. They classify segment-export misses so
+// the cluster layer (and its HTTP surface) can react mechanically: a
+// cursor under the folded base means "fetch the bundle", one past the log
+// means "foreign or restarted log".
+var (
+	// errSeqFolded rejects a segment export whose cursor precedes the
+	// serving base: those edges were folded into the bundle.
+	errSeqFolded = errors.New("server: requested sequence was folded into the base bundle; cut over via the bundle endpoint")
+	// errSeqAhead rejects a segment export whose cursor is past the end of
+	// the log — the requester replicated a different (or restarted) log.
+	errSeqAhead = errors.New("server: requested sequence is beyond the end of the log; follower and leader histories diverge")
+	// errEpochGone rejects a bundle request for an epoch the server no
+	// longer (or does not yet) serve.
+	errEpochGone = errors.New("server: requested epoch is not the serving epoch")
+	// errNotLeader rejects client-originated HTTP writes on a follower,
+	// whose graph may change only through the replication apply path.
+	errNotLeader = errors.New("server: this replica is a follower; send writes to the leader")
+)
+
+// ReplState places one pinned serving generation on the replication
+// timeline. All fields are read from a single generation, so they are
+// mutually consistent even while folds and inserts race.
+type ReplState struct {
+	// Role echoes Options.Role ("standalone" when unset).
+	Role string `json:"role"`
+	// Generation is the store generation (process-local, resets on restart).
+	Generation uint64 `json:"generation"`
+	// Epoch counts completed folds (leader-side or adopted from a leader).
+	Epoch uint64 `json:"epoch"`
+	// SeqBase is the global insert sequence folded into the serving base.
+	SeqBase uint64 `json:"seq_base"`
+	// SealedSeq is the highest sequence available for segment export.
+	SealedSeq uint64 `json:"sealed_seq"`
+	// Seq is the global insert sequence applied so far (base + journal).
+	Seq uint64 `json:"seq"`
+	// Fingerprint is the compact fingerprint of the serving base graph.
+	Fingerprint string `json:"fingerprint"`
+	// BundleBytes is the byte size of the serving bundle when it is known
+	// without serializing (snapshot-backed generations), else 0.
+	BundleBytes int64 `json:"bundle_bytes,omitempty"`
+}
+
+// role resolves the reported role, defaulting to "standalone".
+func (o Options) role() string {
+	if o.Role == "" {
+		return "standalone"
+	}
+	return o.Role
+}
+
+// seqNow is the global insert sequence this generation has applied so far:
+// the folded base plus the overlay journal. Monotone across the lineage —
+// folds move edges from journal to base without changing the sum.
+func (st *state) seqNow() uint64 {
+	if st.delta != nil {
+		return st.seqBase + uint64(st.delta.JournalLen())
+	}
+	return st.seqBase
+}
+
+// replHeaders stamps a response with the pinned generation's replication
+// coordinates. The caller captures seq at the response's linearization
+// point: before computing an answer (a freshness floor the answer is
+// guaranteed to reflect), after appending a batch (a token covering the
+// write). Must run before the status line is written.
+func replHeaders(w http.ResponseWriter, st *state, seq uint64) {
+	h := w.Header()
+	h.Set(HeaderEpoch, strconv.FormatUint(st.epoch, 10))
+	h.Set(HeaderSeq, strconv.FormatUint(seq, 10))
+}
+
+// limitBody caps r.Body at Options.MaxBodyBytes; reads past the cap fail
+// with *http.MaxBytesError, which the JSON handlers surface as HTTP 413
+// with code "body_too_large".
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.opts.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+}
+
+// replState reads the replication coordinates of one pinned generation.
+func (s *Server) replState(st *state) ReplState {
+	rs := ReplState{
+		Role:        s.opts.role(),
+		Generation:  st.gen,
+		Epoch:       st.epoch,
+		SeqBase:     st.seqBase,
+		SealedSeq:   st.seqBase,
+		Seq:         st.seqBase,
+		Fingerprint: st.fp.Compact(),
+	}
+	if st.delta != nil {
+		rs.SealedSeq = st.seqBase + uint64(st.delta.SealedLen())
+		rs.Seq = st.seqBase + uint64(st.delta.JournalLen())
+	}
+	if snap, ok := st.src.(*core.Snapshot); ok {
+		rs.BundleBytes = snap.SizeBytes()
+	}
+	return rs
+}
+
+// ReplState snapshots the current generation's replication coordinates
+// (the zero value after Close).
+func (s *Server) ReplState() ReplState {
+	st := s.store.acquire()
+	if st == nil {
+		return ReplState{}
+	}
+	defer st.release()
+	return s.replState(st)
+}
+
+// ExportSealed copies sealed journal edges starting at global sequence
+// from, together with the coordinates they were read under. When flush is
+// set and nothing is sealed past the cursor but unsealed inserts are
+// pending, the journal tail is force-sealed first — the leader's long-poll
+// path uses it so a trickle of writes below the segment size still
+// replicates promptly. A cursor below the folded base fails with the
+// behind-bundle sentinel (the caller must cut over via BundleReader); one
+// past the log fails as a foreign log.
+func (s *Server) ExportSealed(from uint64, flush bool) ([]graph.Edge, ReplState, error) {
+	if !s.opts.Mutable {
+		return nil, ReplState{}, errNotMutable
+	}
+	st := s.store.acquire()
+	if st == nil {
+		return nil, ReplState{}, errServerClosed
+	}
+	defer st.release()
+	rs := s.replState(st)
+	if from < rs.SeqBase {
+		return nil, rs, fmt.Errorf("%w (cursor %d, base %d)", errSeqFolded, from, rs.SeqBase)
+	}
+	if from > rs.Seq {
+		return nil, rs, fmt.Errorf("%w (cursor %d, log end %d)", errSeqAhead, from, rs.Seq)
+	}
+	local := int(from - rs.SeqBase)
+	edges := st.delta.ExportSealed(local)
+	if len(edges) == 0 && flush && st.delta.JournalLen() > local {
+		st.delta.Seal()
+		edges = st.delta.ExportSealed(local)
+		rs.SealedSeq = rs.SeqBase + uint64(st.delta.SealedLen())
+	}
+	return edges, rs, nil
+}
+
+// pinnedBundle streams a snapshot-backed generation's raw bundle bytes
+// while holding the generation pinned; Close releases the pin, which is
+// what keeps the mapping alive for the whole transfer.
+type pinnedBundle struct {
+	r  *bytes.Reader
+	st *state
+}
+
+func (b *pinnedBundle) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *pinnedBundle) Close() error {
+	if b.st != nil {
+		b.st.release()
+		b.st = nil
+	}
+	return nil
+}
+
+// BundleReader opens a byte stream of the serving base bundle for epoch
+// cutover, verifying the caller's expected epoch against the pinned
+// generation (a fold racing the request fails it cleanly instead of
+// shipping a surprise epoch). Snapshot-backed generations stream the
+// already-checksummed mapping zero-copy under a pin that the returned
+// Close releases; heap-built bases are serialized on the fly. The stream
+// never includes journal edges — those ship as segments.
+func (s *Server) BundleReader(wantEpoch uint64) (io.ReadCloser, ReplState, error) {
+	st := s.store.acquire()
+	if st == nil {
+		return nil, ReplState{}, errServerClosed
+	}
+	rs := s.replState(st)
+	if rs.Epoch != wantEpoch {
+		st.release()
+		return nil, rs, fmt.Errorf("%w (requested %d, serving %d)", errEpochGone, wantEpoch, rs.Epoch)
+	}
+	if snap, ok := st.src.(*core.Snapshot); ok {
+		// Ownership of the pin transfers to the reader; Close releases it.
+		return &pinnedBundle{r: bytes.NewReader(snap.Bytes()), st: st}, rs, nil
+	}
+	var buf bytes.Buffer
+	err := st.ix.WriteSnapshot(&buf)
+	st.release()
+	if err != nil {
+		return nil, rs, fmt.Errorf("server: serialize bundle: %w", err)
+	}
+	rs.BundleBytes = int64(buf.Len())
+	return io.NopCloser(bytes.NewReader(buf.Bytes())), rs, nil
+}
+
+// AdoptFolded installs an externally produced fold epoch: a verified
+// snapshot bundle (ownership transfers to the store) plus the journal tail
+// to carry over — how a replication follower cuts over to the leader's
+// freshly folded bundle through the exact drain path local folds use.
+// epoch and seqBase are the leader's coordinates for the bundle; the
+// caller has already checked the fingerprint handshake and run
+// Snapshot.Verify. Writers pause only for the swap itself.
+func (s *Server) AdoptFolded(snap *core.Snapshot, tail []graph.Edge, epoch, seqBase uint64, source string) error {
+	if !s.opts.Mutable {
+		return errNotMutable
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	if s.store.Generation() == 0 {
+		// Closed store: SwapFolded would retire (and close) the incoming
+		// snapshot, but tell the caller adoption did not happen.
+		snap.Close()
+		return errServerClosed
+	}
+	s.store.SwapFolded(snap.Index(), snap, tail, source, epoch, seqBase)
+	s.epoch.Store(epoch)
+	return nil
+}

@@ -29,6 +29,11 @@ const (
 	DefaultCacheEntries = 1 << 16
 	// DefaultMaxBatch bounds a single POST /batch request.
 	DefaultMaxBatch = 8192
+	// DefaultMaxBodyBytes caps JSON request bodies (POST /update, /batch)
+	// when Options.MaxBodyBytes is zero: 8 MiB holds the largest legal
+	// batch with generous headroom while bounding what one connection can
+	// make the decoder buffer.
+	DefaultMaxBodyBytes = 8 << 20
 )
 
 // Options configures a Server. The zero value serves with a default-sized
@@ -94,6 +99,20 @@ type Options struct {
 	// and explicit, including failed ones (Err set). It runs on the
 	// folding goroutine after the swap; keep it quick.
 	OnRebuild func(RebuildResult)
+
+	// MaxBodyBytes caps the accepted request body, in bytes, on the JSON
+	// POST endpoints (/update, /batch). Zero selects DefaultMaxBodyBytes;
+	// negative disables the cap. Oversized bodies are cut off mid-read and
+	// rejected with HTTP 413 and code "body_too_large".
+	MaxBodyBytes int64
+
+	// Role names this server's replication role — "leader", "follower",
+	// or "" (reported as "standalone") — in /healthz and the replication
+	// handshake. A follower rejects client-originated writes over HTTP:
+	// POST /update and /rebuild answer 403 with code "not_leader", because
+	// its graph must evolve only through the replication apply path
+	// (UpdateBatch and AdoptFolded driven by the cluster follower loop).
+	Role string
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +125,9 @@ func (o Options) withDefaults() Options {
 	o.CacheShards = nextPow2(o.CacheShards)
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	if o.Mutable && o.RebuildThreshold == 0 {
 		o.RebuildThreshold = dynamic.DefaultRebuildThreshold
@@ -527,6 +549,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) bool {
 	}
 
 	start := time.Now()
+	// Coordinates are captured before the answer is computed, so the seq
+	// header is a floor the answer provably reflects (inserts are
+	// monotone: later edges can only add reachability the claim omits).
+	replHeaders(w, st, st.seqNow())
 	reachable, cached, err := st.answerExpr(r.Context(), src, dst, e)
 	if err != nil {
 		return writeErr(w, http.StatusUnprocessableEntity, err)
@@ -597,10 +623,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) bool {
 		return writeError(w, http.StatusServiceUnavailable, "server closed")
 	}
 	defer st.release()
+	// Same pre-compute capture as /query: every per-query answer below is
+	// computed at or after this point, so the floor holds for all of them.
+	replHeaders(w, st, st.seqNow())
+	s.limitBody(w, r)
 	var req batchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return writeErr(w, http.StatusRequestEntityTooLarge, err)
+		}
 		return writeError(w, http.StatusBadRequest, "decode request: %v", err)
 	}
 	if len(req.Queries) == 0 {
@@ -849,12 +883,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // healthzResponse is the GET /healthz reply: liveness plus the minimum a
-// probe needs to watch an epoch roll over without parsing full /stats.
+// probe — or the cluster router's health poller — needs to watch an epoch
+// roll over and track replication progress without parsing full /stats.
+// role, journal_seq, and bundle_fingerprint are always present; the router
+// uses journal_seq as a safe lower bound when pinning clients to replicas
+// (it only ever grows) and bundle_fingerprint to confirm lineage.
 type healthzResponse struct {
 	Status     string  `json:"status"`
 	Generation uint64  `json:"generation"`
 	Epoch      *uint64 `json:"epoch,omitempty"`
 	Journal    *int    `json:"journal,omitempty"`
+	// Role is the replication role ("standalone", "leader", "follower").
+	Role string `json:"role"`
+	// JournalSeq is the global insert sequence applied so far — folded
+	// base plus overlay journal (seqNow of the serving generation).
+	JournalSeq uint64 `json:"journal_seq"`
+	// BundleFingerprint is the compact fingerprint of the serving base.
+	BundleFingerprint string `json:"bundle_fingerprint"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
@@ -863,9 +908,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
 		return writeError(w, http.StatusServiceUnavailable, "server closed")
 	}
 	defer st.release()
-	resp := healthzResponse{Status: "ok", Generation: st.gen}
+	resp := healthzResponse{
+		Status:            "ok",
+		Generation:        st.gen,
+		Role:              s.opts.role(),
+		JournalSeq:        st.seqNow(),
+		BundleFingerprint: st.fp.Compact(),
+	}
 	if st.delta != nil {
-		epoch := s.epoch.Load()
+		// The pinned generation's own epoch, not the server-wide counter:
+		// every field of one healthz reply describes a single generation.
+		epoch := st.epoch
 		journal := st.delta.JournalLen()
 		resp.Epoch = &epoch
 		resp.Journal = &journal
@@ -888,9 +941,12 @@ type errorResponse struct {
 //
 //rlc:errcode
 func errorCode(err error) string {
+	var tooLarge *http.MaxBytesError
 	switch {
 	case err == nil:
 		return ""
+	case errors.As(err, &tooLarge):
+		return "body_too_large"
 	case errors.Is(err, core.ErrVertexRange):
 		return "vertex_range"
 	case errors.Is(err, core.ErrGraphMismatch):
@@ -909,6 +965,14 @@ func errorCode(err error) string {
 		return "deletions_unsupported"
 	case errors.Is(err, errNotMutable):
 		return "immutable"
+	case errors.Is(err, errNotLeader):
+		return "not_leader"
+	case errors.Is(err, errSeqFolded):
+		return "behind_bundle"
+	case errors.Is(err, errSeqAhead):
+		return "foreign_log"
+	case errors.Is(err, errEpochGone):
+		return "epoch_gone"
 	case errors.Is(err, automaton.ErrTooLarge):
 		return "expression_too_large"
 	case errors.Is(err, automaton.ErrEmpty):
@@ -923,6 +987,12 @@ func errorCode(err error) string {
 		return ""
 	}
 }
+
+// ErrorCode exposes the wire-code classification to layers that embed the
+// server and surface its errors on their own endpoints — the cluster
+// leader's replication handlers switch on it ("behind_bundle",
+// "foreign_log", "epoch_gone", ...) instead of matching message text.
+func ErrorCode(err error) string { return errorCode(err) }
 
 // writeErr reports a request failure carrying a real error: the message is
 // the error text and the code its typed classification.

@@ -30,6 +30,20 @@ type state struct {
 	gen    uint64
 	source string // human-readable origin for /stats
 
+	// epoch and seqBase place this generation on the replication timeline:
+	// epoch counts completed folds (leader-side or adopted), and seqBase is
+	// the global insert sequence already folded into this generation's
+	// base. Journal position j of this generation's overlay is global
+	// sequence seqBase+j, so the mapping is immutable per generation — a
+	// reader that pinned the state can translate without racing a fold.
+	epoch   uint64
+	seqBase uint64
+
+	// fp fingerprints the base graph this generation serves: the bundle's
+	// embedded fingerprint when snapshot-backed, recomputed once otherwise.
+	// Replication handshakes and /healthz compare it across processes.
+	fp graph.Fingerprint
+
 	// delta is the write overlay for this generation's base (nil on
 	// immutable servers). A fold builds the next generation's base from
 	// base ∪ journal and seeds a fresh overlay with the un-folded tail.
@@ -94,7 +108,7 @@ type Store struct {
 // NewStore returns a store serving ix (a heap-built index, generation 1).
 func NewStore(ix *core.Index, opts Options) *Store {
 	s := &Store{opts: opts.withDefaults()}
-	s.install(s.newState(ix, nil, opts.BuildStats, "built in-process", s.newDelta(ix, nil)))
+	s.install(s.newState(ix, nil, opts.BuildStats, "built in-process", s.newDelta(ix, nil), 0, 0))
 	return s
 }
 
@@ -103,7 +117,7 @@ func NewStore(ix *core.Index, opts Options) *Store {
 // retired (by a later Swap) or by Close.
 func NewStoreFromSnapshot(snap *core.Snapshot, opts Options) *Store {
 	s := &Store{opts: opts.withDefaults()}
-	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap), s.newDelta(snap.Index(), nil)))
+	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap), s.newDelta(snap.Index(), nil), 0, 0))
 	return s
 }
 
@@ -136,15 +150,25 @@ func snapshotSource(snap *core.Snapshot) string {
 // pool. A fresh cache is not an optimization detail: results cached against
 // the old index may be wrong for the new one, so cache lifetime is bounded
 // by generation lifetime.
-func (s *Store) newState(ix *core.Index, src io.Closer, build *core.BuildStats, source string, delta *dynamic.DeltaGraph) *state {
+func (s *Store) newState(ix *core.Index, src io.Closer, build *core.BuildStats, source string, delta *dynamic.DeltaGraph, epoch, seqBase uint64) *state {
 	st := &state{
-		ix:     ix,
-		g:      ix.Graph(),
-		src:    src,
-		build:  build,
-		source: source,
-		delta:  delta,
-		ver:    &s.writes,
+		ix:      ix,
+		g:       ix.Graph(),
+		src:     src,
+		build:   build,
+		source:  source,
+		delta:   delta,
+		ver:     &s.writes,
+		epoch:   epoch,
+		seqBase: seqBase,
+	}
+	// Prefer the fingerprint embedded in a snapshot's meta (O(1)); compute
+	// it once for heap-built bases. Either way every pinned reader sees a
+	// stable identity for the generation's base graph.
+	if snap, ok := src.(*core.Snapshot); ok {
+		st.fp = snap.Fingerprint()
+	} else {
+		st.fp = st.g.Fingerprint()
 	}
 	if s.opts.CacheEntries > 0 {
 		st.cache = newCache(s.opts.CacheEntries, s.opts.CacheShards)
@@ -198,8 +222,10 @@ func (s *Store) acquire() *state {
 }
 
 // SwapIndex atomically replaces the served index with a heap-built one.
+// The replication timeline resets: an externally supplied index starts a
+// fresh lineage at epoch 0, sequence 0.
 func (s *Store) SwapIndex(ix *core.Index) {
-	s.install(s.newState(ix, nil, nil, "built in-process", s.newDelta(ix, nil)))
+	s.install(s.newState(ix, nil, nil, "built in-process", s.newDelta(ix, nil), 0, 0))
 }
 
 // SwapSnapshot atomically replaces the served generation with an open
@@ -209,17 +235,19 @@ func (s *Store) SwapIndex(ix *core.Index) {
 // the swap itself is deliberately unconditional, so policy stays with the
 // caller (rlcserve verifies; a trusted pipeline may skip it).
 func (s *Store) SwapSnapshot(snap *core.Snapshot) {
-	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap), s.newDelta(snap.Index(), nil)))
+	s.install(s.newState(snap.Index(), snap, nil, snapshotSource(snap), s.newDelta(snap.Index(), nil), 0, 0))
 }
 
 // SwapFolded publishes a post-fold generation: the index rebuilt over
 // base ∪ journal (optionally backed by a freshly written snapshot bundle,
 // which the store takes ownership of) and a delta overlay seeded with the
-// un-folded journal tail. It rides the same drain path as SwapSnapshot:
-// queries pinned to the pre-fold generation finish against it — overlay,
-// cache, mapping and all — before its snapshot is released.
-func (s *Store) SwapFolded(ix *core.Index, src io.Closer, journal []graph.Edge, source string) {
-	s.install(s.newState(ix, src, nil, source, s.newDelta(ix, journal)))
+// un-folded journal tail. epoch and seqBase place the new generation on
+// the replication timeline (the fold that produced it advanced both). It
+// rides the same drain path as SwapSnapshot: queries pinned to the
+// pre-fold generation finish against it — overlay, cache, mapping and all
+// — before its snapshot is released.
+func (s *Store) SwapFolded(ix *core.Index, src io.Closer, journal []graph.Edge, source string, epoch, seqBase uint64) {
+	s.install(s.newState(ix, src, nil, source, s.newDelta(ix, journal), epoch, seqBase))
 }
 
 // Index returns the currently served index without pinning it — for

@@ -259,6 +259,12 @@ func (f *File) Sections() []SectionInfo {
 // read-into-heap fallback).
 func (f *File) Mapped() bool { return f.mapped }
 
+// Bytes returns the complete raw bundle — header, section table, and
+// payloads — aliasing the mapping. The slice must not be mutated and
+// becomes invalid when the File is closed; callers streaming it (the
+// replication bundle endpoint) must hold the owner open for the duration.
+func (f *File) Bytes() []byte { return f.data }
+
 // Size returns the total byte size of the open bundle.
 func (f *File) Size() int64 { return int64(len(f.data)) }
 
