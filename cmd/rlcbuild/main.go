@@ -31,6 +31,7 @@ func main() {
 		bundle    = flag.String("o", "", "output v2 snapshot bundle (self-contained, mmap-served)")
 		workers   = flag.Int("buildworkers", 0, "construction workers (0 = GOMAXPROCS, 1 = sequential)")
 		packed    = flag.Bool("packed", true, "derive the bit-parallel packed MR-set form (bundles gain packed sections; false = scan-only baseline)")
+		maxBytes  = flag.Int64("max-index-bytes", 0, "size budget for the index: keep exact entry lists for the top-ranked vertices that fit, demote the rest to may-reach filters (0 = unlimited; answers stay exact either way)")
 		noPR1     = flag.Bool("no-pr1", false, "disable pruning rule PR1 (ablation)")
 		noPR2     = flag.Bool("no-pr2", false, "disable pruning rule PR2 (ablation)")
 		noPR3     = flag.Bool("no-pr3", false, "disable pruning rule PR3 (ablation)")
@@ -51,6 +52,12 @@ func main() {
 	if *workers < 0 {
 		fatalf("-buildworkers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
 	}
+	if *maxBytes < 0 {
+		fatalf("-max-index-bytes must be >= 0 (0 = unlimited), got %d", *maxBytes)
+	}
+	if *maxBytes > 0 && *out != "" {
+		fatalf("-max-index-bytes requires the v2 bundle output (-o): the v1 format (-out) cannot carry the filter tier")
+	}
 
 	g, err := rlc.LoadGraphFile(*graphPath)
 	if err != nil {
@@ -63,6 +70,7 @@ func main() {
 		K:             *k,
 		BuildWorkers:  *workers,
 		DisablePacked: !*packed,
+		MaxIndexBytes: *maxBytes,
 		DisablePR1:    *noPR1,
 		DisablePR2:    *noPR2,
 		DisablePR3:    *noPR3,
@@ -79,6 +87,15 @@ func main() {
 	if ix.Packed() {
 		fmt.Printf("packed:        %.2f MB (%d groups, %d hash-consed sets, %d pool words)\n",
 			float64(st.Packed.SizeBytes)/(1024*1024), st.Packed.Groups, st.Packed.Sets, st.Packed.PoolWords)
+	}
+	if *maxBytes > 0 && !ix.Tiered() {
+		fmt.Printf("tiers:         budget %d B fits the whole index, nothing demoted\n", *maxBytes)
+	}
+	if ix.Tiered() {
+		ts := st.Tiers
+		fmt.Printf("tiers:         budget %d B: %d exact vertices, %d filtered (%.2f MB filters, %d union sets, %d bloom bits each)\n",
+			ts.Budget, ts.RetainedVertices, ts.DemotedVertices,
+			float64(ts.FilterBytes)/(1024*1024), ts.UnionSets, ts.BloomBitsPerFilter)
 	}
 	fmt.Printf("construction:  %d kernel searches, %d kernel-BFS nodes; %d inserts, pruned %d by PR1, %d by PR2\n",
 		bst.KernelBFSRuns, bst.KernelBFSNodes, bst.Inserted, bst.PrunedPR1, bst.PrunedPR2)

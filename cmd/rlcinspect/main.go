@@ -79,6 +79,12 @@ func main() {
 		fmt.Printf("packed:       %.2f MB (%d groups, %d hash-consed sets, %d pool words, bit-parallel membership)\n",
 			float64(st.Packed.SizeBytes)/(1024*1024), st.Packed.Groups, st.Packed.Sets, st.Packed.PoolWords)
 	}
+	if ix.Tiered() {
+		ts := st.Tiers
+		fmt.Printf("tiers:        budget %d B: %d exact vertices, %d filtered (%.2f MB filters, %d union sets, %d bloom bits per filter)\n",
+			ts.Budget, ts.RetainedVertices, ts.DemotedVertices,
+			float64(ts.FilterBytes)/(1024*1024), ts.UnionSets, ts.BloomBitsPerFilter)
+	}
 
 	printDist := func(name string, d core.Distribution) {
 		fmt.Printf("%s: carriers=%d max=%d mean=%.1f p99=%d top1%%-share=%.1f%%\n",
@@ -119,7 +125,9 @@ var sectionNames = map[uint32]string{
 	9: "order", 10: "entries", 11: "index-out-off", 12: "index-in-off",
 	13: "vertex-names", 14: "label-names", 15: "packed-meta",
 	16: "packed-groups", 17: "packed-out-off", 18: "packed-in-off",
-	19: "packed-sets", 20: "packed-set-desc",
+	19: "packed-sets", 20: "packed-set-desc", 21: "tier-meta",
+	22: "tier-union-out", 23: "tier-union-in", 24: "tier-sets",
+	25: "tier-set-desc", 26: "tier-bloom",
 }
 
 // dumpSections prints the bundle's section table, checksumming each payload
@@ -154,6 +162,9 @@ func dumpSections(snap *rlc.Snapshot) {
 	}
 	if err := snap.Index().VerifyPacked(); err != nil {
 		fatalf("packed sections diverge from the entry array: %v", err)
+	}
+	if err := snap.Index().VerifyTiers(); err != nil {
+		fatalf("tier sections diverge from the entry array: %v", err)
 	}
 	fmt.Println("all sections verified")
 	fmt.Println()

@@ -67,6 +67,7 @@ func main() {
 		indexPath    = flag.String("index", "", "index file (built on the fly when omitted)")
 		k            = flag.Int("k", 2, "recursive k when building on the fly")
 		buildWorkers = flag.Int("buildworkers", 0, "construction workers when building on the fly (0 = GOMAXPROCS)")
+		maxIndex     = flag.Int64("max-index-bytes", 0, "size budget when building on the fly: demote low-ranked vertices to may-reach filters so the index fits (0 = unlimited; answers stay exact)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		cacheSize    = flag.Int("cache", rlc.DefaultCacheEntries, "result-cache capacity in entries (0 = disable)")
 		cacheShards  = flag.Int("cache-shards", 0, "cache shard count, rounded up to a power of two (0 = 2*GOMAXPROCS)")
@@ -163,7 +164,7 @@ func main() {
 		} else {
 			start := time.Now()
 			var st rlc.BuildStats
-			ix, st, err = rlc.BuildIndexWithStats(g, rlc.Options{K: *k, BuildWorkers: *buildWorkers})
+			ix, st, err = rlc.BuildIndexWithStats(g, rlc.Options{K: *k, BuildWorkers: *buildWorkers, MaxIndexBytes: *maxIndex})
 			if err != nil {
 				fatalf("build index: %v", err)
 			}
@@ -270,6 +271,10 @@ func printIndexStats(ix *rlc.Index) {
 	st := ix.Stats()
 	fmt.Printf("index: k=%d, %d entries (%.2f MB), %d distinct MRs\n",
 		st.K, st.Entries, float64(st.SizeBytes)/(1024*1024), st.DistinctMRs)
+	if ix.Tiered() {
+		fmt.Printf("tiers: budget %d B: %d exact vertices, %d filtered\n",
+			st.Tiers.Budget, st.Tiers.RetainedVertices, st.Tiers.DemotedVertices)
+	}
 }
 
 func usage() {

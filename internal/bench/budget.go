@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/datasets"
+	"github.com/g-rpqs/rlc-go/internal/workload"
+)
+
+// budgetFractions is the sweep of MaxIndexBytes as fractions of the full
+// (unbudgeted) index size: a gentle cut, a half, and an aggressive one that
+// demotes most of the graph. 1.0 is the unbudgeted baseline row.
+var budgetFractions = []float64{1.0, 0.5, 0.25, 0.1}
+
+// budgetProbeRounds is how many times each workload query is measured for
+// the latency distribution: index probes are nanoseconds, so a single shot
+// per query would time the clock, not the query.
+const budgetProbeRounds = 64
+
+// RunBudget measures the size-budgeted index tiers on every dataset
+// replica: for each budget fraction, the resident index bytes (which must
+// shrink monotonically as the budget tightens), the exact/filtered vertex
+// split, the per-tier query counters, and the query-latency distribution.
+// Every budgeted index first answers the whole workload pool against ground
+// truth before anything is timed — the tiers must be a pure space/time
+// trade, never an approximation.
+func RunBudget(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := &Table{
+		ID:    "budget",
+		Title: "Size-budgeted index tiers: exact hubs + may-reach filters under MaxIndexBytes",
+		Columns: []string{"Dataset", "Budget", "MB", "Bytes", "Exact V", "Filtered V",
+			"Exact q", "Filter q", "Traversal q", "p50 ns/q", "p99 ns/q"},
+		Notes: []string{fmt.Sprintf(
+			"Budget is MaxIndexBytes as a fraction of the full index size (1.00 = unbudgeted baseline); every row first answered the whole fig3-style true+false pool exactly (ground-truth gated), then each query was timed over %d rounds for the p50/p99 distribution.", budgetProbeRounds),
+			"Bytes is resident size relative to the full index. Exact/Filter/Traversal q split the pool by deciding tier: complete entry lists, definitive filter answers, and exact-traversal fallbacks on filter maybes.",
+			"Tightening the budget trades the filtered vertices' list bytes for union+bloom filters; p99 grows with the traversal-fallback share, p50 stays on the filter fast path.",
+			"A dataset whose per-vertex entry bytes sit below the per-vertex filter floor (about 24 B plus its union windows) never tiers: the builder refuses to grow the index, so every budgeted row repeats the full size with zero filtered vertices."},
+	}
+
+	for _, d := range datasets.All() {
+		if !cfg.wantDataset(d.Name) {
+			continue
+		}
+		cfg.progressf("budget: %s", d.Name)
+		rows, err := runBudgetDataset(cfg, d)
+		if err != nil {
+			return nil, fmt.Errorf("budget: %s: %w", d.Name, err)
+		}
+		tab.Rows = append(tab.Rows, rows...)
+	}
+	return []*Table{tab}, nil
+}
+
+func runBudgetDataset(cfg Config, d datasets.Dataset) ([][]string, error) {
+	g, err := replica(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	w, err := buildWorkload(cfg, g, 2)
+	if err != nil {
+		return nil, err
+	}
+	pool := w.All()
+	full, err := core.Build(g, core.Options{K: 2})
+	if err != nil {
+		return nil, err
+	}
+	fullBytes := full.SizeBytes()
+
+	var rows [][]string
+	prevBytes := int64(-1)
+	for _, frac := range budgetFractions {
+		ix := full
+		if frac < 1.0 {
+			budget := int64(float64(fullBytes) * frac)
+			ix, err = core.Build(g, core.Options{K: 2, MaxIndexBytes: budget})
+			if err != nil {
+				return nil, err
+			}
+			// A build may legitimately stay untiered: the builder refuses
+			// to tier a graph whose entry lists are cheaper than the
+			// per-vertex filter floor (a budget must never grow the index).
+			// Such rows report the full size at every fraction below.
+		}
+
+		// Exactness gate: the whole pool against ground truth before timing.
+		if _, err := timeQuerySet(pool, 0, func(q workload.Query) (bool, error) {
+			return ix.Query(q.S, q.T, q.L)
+		}); err != nil {
+			return nil, err
+		}
+
+		// Per-query latency distribution over the pool.
+		perQuery := make([]time.Duration, len(pool))
+		for i, q := range pool {
+			start := time.Now()
+			for r := 0; r < budgetProbeRounds; r++ {
+				if _, err := ix.Query(q.S, q.T, q.L); err != nil {
+					return nil, err
+				}
+			}
+			perQuery[i] = time.Since(start) / budgetProbeRounds
+		}
+		sort.Slice(perQuery, func(i, j int) bool { return perQuery[i] < perQuery[j] })
+		p50 := perQuery[len(perQuery)/2]
+		p99 := perQuery[len(perQuery)*99/100]
+
+		sizeBytes := ix.SizeBytes()
+		if prevBytes >= 0 && sizeBytes > prevBytes {
+			return nil, fmt.Errorf("index bytes grew as the budget tightened: %d B at the tighter budget, %d B at the looser", sizeBytes, prevBytes)
+		}
+		prevBytes = sizeBytes
+
+		ts := ix.TierStats()
+		queries := int64(len(pool)) * (budgetProbeRounds + 1)
+		exactQ := queries - ts.FilterDefinite - ts.FilterMaybe // both-retained, full-list decisions
+		if !ix.Tiered() {
+			ts.RetainedVertices = g.NumVertices() // baseline or guardrail row
+		}
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprintf("%.2f", frac),
+			fmtMB(sizeBytes),
+			fmt.Sprintf("%.2fx", float64(sizeBytes)/float64(fullBytes)),
+			fmtCount(int64(ts.RetainedVertices)),
+			fmtCount(int64(ts.DemotedVertices)),
+			fmt.Sprintf("%.1f%%", 100*float64(exactQ)/float64(queries)),
+			fmt.Sprintf("%.1f%%", 100*float64(ts.FilterDefinite)/float64(queries)),
+			fmt.Sprintf("%.1f%%", 100*float64(ts.FilterMaybe)/float64(queries)),
+			fmt.Sprintf("%d", p50.Nanoseconds()),
+			fmt.Sprintf("%d", p99.Nanoseconds()),
+		})
+	}
+	return rows, nil
+}

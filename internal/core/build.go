@@ -101,6 +101,9 @@ func BuildWithStats(g *graph.Graph, opts Options) (*Index, BuildStats, error) {
 	if opts.BuildWorkers < 0 {
 		return nil, BuildStats{}, fmt.Errorf("rlc: BuildWorkers must be >= 0 (0 = GOMAXPROCS), got %d", opts.BuildWorkers)
 	}
+	if opts.MaxIndexBytes < 0 {
+		return nil, BuildStats{}, fmt.Errorf("rlc: MaxIndexBytes must be >= 0 (0 = unlimited), got %d", opts.MaxIndexBytes)
+	}
 	if g.NumVertices() == 0 {
 		return nil, BuildStats{}, fmt.Errorf("rlc: cannot index an empty graph")
 	}
@@ -144,6 +147,13 @@ func BuildWithStats(g *graph.Graph, opts Options) (*Index, BuildStats, error) {
 		if err := ix.pack(); err != nil {
 			return nil, b.stats, err
 		}
+	}
+	// Size budgeting runs last, over the frozen (and packed) index: it
+	// truncates demoted lists and re-derives the packed form, so a budget
+	// the full index fits leaves everything bit-identical to an unbudgeted
+	// build.
+	if err := ix.tier(); err != nil {
+		return nil, b.stats, err
 	}
 	return ix, b.stats, nil
 }

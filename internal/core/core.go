@@ -79,6 +79,19 @@ type Options struct {
 	// Answers are identical either way; the flag exists for the packed/scan
 	// differential tests and the bench baseline.
 	DisablePacked bool
+
+	// MaxIndexBytes caps the index size (same accounting as SizeBytes; 0 =
+	// unlimited). When the full index exceeds it, the builder keeps complete
+	// entry lists only for the access-order prefix that fits and demotes
+	// every other vertex to compact may-reach filters whose negative answers
+	// are definitive; queries touching a demoted vertex fall back to an
+	// exact graph traversal only when the filters cannot exclude them (see
+	// tiers.go). Answers are identical to an unbudgeted index either way.
+	// The cap is a target with a floor: the filter tier always keeps ~24
+	// bytes per demoted vertex plus its MR-union pool, so a budget below
+	// that floor yields the floor. A budget the full index already fits is
+	// a no-op. Negative values are rejected by Build.
+	MaxIndexBytes int64
 }
 
 func (o Options) k() int {
@@ -122,6 +135,12 @@ type Index struct {
 	// entry lists (packed.go); queryByID answers from it and falls back to
 	// the entry scan when absent.
 	packed *packed
+
+	// tiers, when non-nil, marks a size-budgeted index (tiers.go): the
+	// entry lists of vertices ranked at or past tiers.retainedRanks are
+	// truncated and queries touching them go through may-reach filters
+	// with an exact traversal fallback.
+	tiers *tiers
 }
 
 // lout returns the Lout(v) slice of the frozen entries array.
@@ -180,7 +199,8 @@ func (ix *Index) NumEntries() int64 {
 
 // SizeBytes estimates the resident size of the index: 8 bytes per entry
 // plus the minimum-repeat dictionary, mirroring how the paper reports index
-// size.
+// size. On a size-budgeted index the (truncated) entries plus the filter
+// tier are counted, so the number is directly comparable to MaxIndexBytes.
 func (ix *Index) SizeBytes() int64 {
 	size := ix.NumEntries() * 8
 	for i := 0; i < ix.dict.Len(); i++ {
@@ -188,6 +208,9 @@ func (ix *Index) SizeBytes() int64 {
 	}
 	// CSR offset arrays (one per direction).
 	size += int64(len(ix.inOff)+len(ix.outOff)) * 4
+	if ix.tiers != nil {
+		size += ix.tiers.sizeBytes()
+	}
 	return size
 }
 
@@ -205,6 +228,10 @@ type Stats struct {
 	// Packed summarizes the bit-parallel representation when present
 	// (Packed.Groups == 0 and Packed.Sets == 0 on an unpacked index).
 	Packed PackedStats
+
+	// Tiers summarizes the size-budgeted filter tier when present (the
+	// zero value on an untiered index).
+	Tiers TierStats
 }
 
 // Stats returns summary statistics.
@@ -222,6 +249,7 @@ func (ix *Index) Stats() Stats {
 		DistinctMRs: ix.dict.Len(),
 		SizeBytes:   ix.SizeBytes(),
 		Packed:      ix.PackedStats(),
+		Tiers:       ix.TierStats(),
 	}
 }
 
@@ -338,10 +366,19 @@ func (ix *Index) checkConstraint(l labelseq.Seq) error {
 // queryByID is the hot path of Query and QueryBatch on the frozen CSR
 // layout: Case 2 (direct entries) then Case 1 (merge join). During
 // construction the equivalent PR1 check runs against the builder's mutable
-// per-vertex lists instead (see builder.insert).
+// per-vertex lists instead (see builder.insert). On a size-budgeted index,
+// queries touching a demoted vertex dispatch to the three-tier path
+// (tiers.go) instead; both endpoints retained stays the plain exact probe
+// (their lists are complete).
 //
 //rlc:noalloc
 func (ix *Index) queryByID(s, t graph.Vertex, mr labelseq.ID) bool {
+	if tr := ix.tiers; tr != nil {
+		if ix.rank[s] >= tr.retainedRanks || ix.rank[t] >= tr.retainedRanks {
+			return ix.queryTiered(s, t, mr)
+		}
+		tr.exactHits.Add(1)
+	}
 	if ix.packed != nil {
 		return ix.queryPacked(s, t, mr)
 	}

@@ -11,6 +11,7 @@ import (
 // every frontier vertex against a fixed (t, L+), which this amortizes.
 type TargetProbe struct {
 	ix    *Index
+	t     graph.Vertex
 	mr    labelseq.ID
 	rankT int32
 	// hubs is a bitmap over access ranks: bit h set iff (hub h, L) ∈
@@ -27,7 +28,7 @@ func (ix *Index) NewTargetProbe(t graph.Vertex, l labelseq.Seq) (*TargetProbe, e
 	if err := ix.checkQuery(t, t, l); err != nil {
 		return nil, err
 	}
-	p := &TargetProbe{ix: ix, rankT: ix.rank[t]}
+	p := &TargetProbe{ix: ix, t: t, rankT: ix.rank[t]}
 	p.mr = ix.dict.Lookup(l)
 	if p.mr == labelseq.InvalidID {
 		// No path in the graph carries this k-MR: every probe is false.
@@ -44,9 +45,16 @@ func (ix *Index) NewTargetProbe(t graph.Vertex, l labelseq.Seq) (*TargetProbe, e
 }
 
 // Reaches reports whether Query(s, t, L+) holds, in one pass over Lout(s).
+// On a size-budgeted index a demoted endpoint's lists are truncated, so the
+// precomputed bitmap and the Lout scan would silently miss entries; those
+// probes delegate to the exact three-tier query path instead.
 func (p *TargetProbe) Reaches(s graph.Vertex) bool {
 	if !p.valid {
 		return false
+	}
+	if tr := p.ix.tiers; tr != nil &&
+		(p.rankT >= tr.retainedRanks || p.ix.rank[s] >= tr.retainedRanks) {
+		return p.ix.queryByID(s, p.t, p.mr)
 	}
 	// Case 2: (s, L) ∈ Lin(t).
 	rs := p.ix.rank[s]
@@ -70,6 +78,7 @@ func (p *TargetProbe) Reaches(s graph.Vertex) bool {
 // pass over their Lin list each.
 type SourceProbe struct {
 	ix    *Index
+	s     graph.Vertex
 	mr    labelseq.ID
 	rankS int32
 	// hubs is a bitmap over access ranks: bit h set iff (hub h, L) ∈
@@ -83,7 +92,7 @@ func (ix *Index) NewSourceProbe(s graph.Vertex, l labelseq.Seq) (*SourceProbe, e
 	if err := ix.checkQuery(s, s, l); err != nil {
 		return nil, err
 	}
-	p := &SourceProbe{ix: ix, rankS: ix.rank[s]}
+	p := &SourceProbe{ix: ix, s: s, rankS: ix.rank[s]}
 	p.mr = ix.dict.Lookup(l)
 	if p.mr == labelseq.InvalidID {
 		return p, nil
@@ -99,9 +108,15 @@ func (ix *Index) NewSourceProbe(s graph.Vertex, l labelseq.Seq) (*SourceProbe, e
 }
 
 // Reaches reports whether Query(s, t, L+) holds, in one pass over Lin(t).
+// Like TargetProbe.Reaches, probes touching a demoted vertex of a
+// size-budgeted index delegate to the exact three-tier query path.
 func (p *SourceProbe) Reaches(t graph.Vertex) bool {
 	if !p.valid {
 		return false
+	}
+	if tr := p.ix.tiers; tr != nil &&
+		(p.rankS >= tr.retainedRanks || p.ix.rank[t] >= tr.retainedRanks) {
+		return p.ix.queryByID(p.s, t, p.mr)
 	}
 	// Case 2: (t, L) ∈ Lout(s).
 	rt := p.ix.rank[t]

@@ -27,8 +27,17 @@ const (
 	version = 1
 )
 
+// ErrTieredV1 is returned by Write for a size-budgeted index: the v1 format
+// has no room for the filter tier, so writing one would silently drop the
+// demoted vertices' only representation. Tiered indexes persist via
+// WriteSnapshot/SaveSnapshotFile.
+var ErrTieredV1 = fmt.Errorf("rlc: a size-budgeted (tiered) index cannot be written in the v1 format; use a v2 snapshot bundle")
+
 // Write serializes the index.
 func (ix *Index) Write(w io.Writer) error {
+	if ix.tiers != nil {
+		return ErrTieredV1
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err

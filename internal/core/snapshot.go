@@ -53,6 +53,18 @@ const (
 	secPackedInOff   = 18 // int32[n+1]
 	secPackedSets    = 19 // uint64[wordCount], the hash-consed windowed word pool
 	secPackedSetDesc = 20 // setDesc[setCount]: (off u32, base u32, span u32)
+
+	// Size-budgeted tier sections (see tiers.go). Optional as a block like
+	// the packed sections: an unbudgeted bundle carries none of them, a
+	// tiered bundle carries all six, and a partially stripped bundle is
+	// corrupt. The demoted-vertex count is n - retainedRanks; demoted slot
+	// arrays index by rank - retainedRanks.
+	secTierMeta     = 21 // fixed 32 bytes: retainedRanks u32, bloomWords u32, setCount u32, reserved u32, wordCount u64, budget u64
+	secTierUnionOut = 22 // uint32[numDemoted], union set ids (0xFFFFFFFF = empty dropped list)
+	secTierUnionIn  = 23 // uint32[numDemoted]
+	secTierSets     = 24 // uint64[wordCount], the tier-local hash-consed union pool
+	secTierSetDesc  = 25 // setDesc[setCount]: (off u32, base u32, span u32)
+	secTierBloom    = 26 // uint64[2*numDemoted*bloomWords], per-vertex out/in bloom blocks interleaved
 )
 
 // metaSize is the exact size of the meta section.
@@ -60,6 +72,9 @@ const metaSize = 56
 
 // packedMetaSize is the exact size of the packed-meta section.
 const packedMetaSize = 24
+
+// tierMetaSize is the exact size of the tier-meta section.
+const tierMetaSize = 32
 
 // meta flag bits.
 const (
@@ -180,6 +195,22 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 		sw.Add(secPackedInOff, snapshot.I32Bytes(p.inOff))
 		sw.Add(secPackedSets, snapshot.U64Bytes(p.words))
 		sw.Add(secPackedSetDesc, descBytes(p.desc))
+	}
+	if tr := ix.tiers; tr != nil {
+		le := binary.LittleEndian
+		tm := make([]byte, tierMetaSize)
+		le.PutUint32(tm[0:], uint32(tr.retainedRanks))
+		le.PutUint32(tm[4:], tr.bloomWords)
+		le.PutUint32(tm[8:], uint32(len(tr.desc)))
+		// tm[12:16] reserved, zero.
+		le.PutUint64(tm[16:], uint64(len(tr.words)))
+		le.PutUint64(tm[24:], uint64(tr.budget))
+		sw.Add(secTierMeta, tm)
+		sw.Add(secTierUnionOut, snapshot.U32Bytes(tr.unionOut))
+		sw.Add(secTierUnionIn, snapshot.U32Bytes(tr.unionIn))
+		sw.Add(secTierSets, snapshot.U64Bytes(tr.words))
+		sw.Add(secTierSetDesc, descBytes(tr.desc))
+		sw.Add(secTierBloom, snapshot.U64Bytes(tr.bloom))
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := sw.WriteTo(bw); err != nil {
@@ -456,6 +487,16 @@ func newSnapshot(f *snapshot.File) (*Snapshot, error) {
 	// truthful for snapshot-opened indexes too: a fold of an unpacked
 	// bundle stays unpacked, a fold of a packed one stays packed.
 	ix.opts.DisablePacked = p == nil
+	tr, err := openTiers(f, n, meta.dictLen)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		initTierRuntime(ix, tr)
+		// Same truthfulness for the budget: a fold of a tiered bundle
+		// re-applies its MaxIndexBytes, so the budget survives epochs.
+		ix.opts.MaxIndexBytes = tr.budget
+	}
 	return &Snapshot{f: f, ix: ix, g: g, meta: meta}, nil
 }
 
@@ -554,6 +595,101 @@ func openPacked(f *snapshot.File, n, dictLen int) (*packed, error) {
 	return p, nil
 }
 
+// openTiers adopts the optional size-budgeted tier sections. Like the packed
+// block, a bundle either carries the whole block or none of it: absent
+// tier-meta means an untiered bundle (nil); a present tier-meta makes the
+// other five sections required and structurally validated, so a partially
+// stripped or internally inconsistent tier block surfaces as corrupt instead
+// of silently demoting wrong vertices.
+//
+//rlc:viewowner
+func openTiers(f *snapshot.File, n, dictLen int) (*tiers, error) {
+	tm, ok := f.Section(secTierMeta)
+	if !ok {
+		return nil, nil
+	}
+	if len(tm) != tierMetaSize {
+		return nil, snapshot.Corruptf("tier-meta section is %d bytes, want %d", len(tm), tierMetaSize)
+	}
+	le := binary.LittleEndian
+	retained := int64(le.Uint32(tm[0:]))
+	bloomWords := le.Uint32(tm[4:])
+	setCount := int64(le.Uint32(tm[8:]))
+	reserved := le.Uint32(tm[12:])
+	wordCount := int64(le.Uint64(tm[16:]))
+	budget := int64(le.Uint64(tm[24:]))
+	const maxI32 = 1<<31 - 1
+	if reserved != 0 {
+		return nil, snapshot.Corruptf("tier-meta reserved field is %d, want 0", reserved)
+	}
+	if retained >= int64(n) {
+		// tier() only tiers when it demotes; retainedRanks == n would make
+		// every slot array empty and the block meaningless.
+		return nil, snapshot.Corruptf("tier-meta retains %d of %d ranks: a tiered bundle must demote at least one vertex", retained, n)
+	}
+	if bloomWords == 0 || bloomWords > 64 || bloomWords&(bloomWords-1) != 0 {
+		return nil, snapshot.Corruptf("tier bloom width %d words is not a power of two in [1, 64]", bloomWords)
+	}
+	if budget <= 0 {
+		return nil, snapshot.Corruptf("tier-meta budget %d is not positive", budget)
+	}
+	if setCount > maxI32 || wordCount > maxI32 {
+		return nil, snapshot.Corruptf("implausible tier counts: %d sets, %d words", setCount, wordCount)
+	}
+	d := int64(n) - retained
+	unionOutB, err := section(f, secTierUnionOut, d*4, "tier union-out")
+	if err != nil {
+		return nil, err
+	}
+	unionInB, err := section(f, secTierUnionIn, d*4, "tier union-in")
+	if err != nil {
+		return nil, err
+	}
+	setsB, err := section(f, secTierSets, wordCount*8, "tier-set pool")
+	if err != nil {
+		return nil, err
+	}
+	descB, err := section(f, secTierSetDesc, setCount*12, "tier-set descriptor")
+	if err != nil {
+		return nil, err
+	}
+	bloomB, err := section(f, secTierBloom, 2*d*int64(bloomWords)*8, "tier bloom")
+	if err != nil {
+		return nil, err
+	}
+	tr := &tiers{
+		retainedRanks: int32(retained),
+		budget:        budget,
+		bloomWords:    bloomWords,
+		unionOut:      snapshot.U32s(unionOutB),
+		unionIn:       snapshot.U32s(unionInB),
+		desc:          descView(descB),
+		words:         snapshot.U64s(setsB),
+		bloom:         snapshot.U64s(bloomB),
+	}
+	// Every descriptor's window must fit the dictionary's word range and its
+	// stored words must lie inside the pool — unionHas probes words[off+w]
+	// for w < span without further checks — and every slot's set id must be
+	// a real descriptor or the empty-list sentinel.
+	wMax := int64(setWordsFor(dictLen))
+	for i, dsc := range tr.desc {
+		if dsc.span == 0 || int64(dsc.base)+int64(dsc.span) > wMax {
+			return nil, snapshot.Corruptf("tier set %d window [%d, +%d) outside dictionary word range %d", i, dsc.base, dsc.span, wMax)
+		}
+		if int64(dsc.off)+int64(dsc.span) > wordCount {
+			return nil, snapshot.Corruptf("tier set %d words [%d, +%d) outside pool of %d", i, dsc.off, dsc.span, wordCount)
+		}
+	}
+	for _, slots := range [2][]uint32{tr.unionOut, tr.unionIn} {
+		for i, set := range slots {
+			if set != invalidTierSet && int64(set) >= setCount {
+				return nil, snapshot.Corruptf("tier union set id %d of slot %d outside pool of %d sets", set, i, setCount)
+			}
+		}
+	}
+	return tr, nil
+}
+
 // Index returns the snapshot's index, valid until Close.
 func (s *Snapshot) Index() *Index { return s.ix }
 
@@ -609,6 +745,12 @@ func (s *Snapshot) Verify() error {
 	// halves checksums clean). Queries answer from the packed form, so
 	// equality with the authoritative entries is part of integrity.
 	if err := s.ix.verifyPacked(); err != nil {
+		return fmt.Errorf("%w: %w", snapshot.ErrCorrupt, err)
+	}
+	// Same for the tier block: its retention split must agree with the
+	// entry array (demoted lists physically truncated), or filter answers
+	// and entry answers would come from different indexes.
+	if err := s.ix.verifyTiers(); err != nil {
 		return fmt.Errorf("%w: %w", snapshot.ErrCorrupt, err)
 	}
 	return nil

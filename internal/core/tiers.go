@@ -1,0 +1,649 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/g-rpqs/rlc-go/internal/automaton"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+	"github.com/g-rpqs/rlc-go/internal/traversal"
+)
+
+// Size-budgeted index tiers (FERRARI-style, adapted to RLC labels).
+//
+// An unbudgeted index stores the full Lin/Lout entry lists of every vertex.
+// Options.MaxIndexBytes caps that: the builder retains full (packed) lists
+// only for the vertices at the front of the access order — the hub ordering
+// already ranks vertices by how much reachability their lists cover, and in
+// a pruned 2-hop labeling the top-ranked hubs also have the *smallest*
+// lists, so the budget's exact tier is precisely where entries pay off most.
+// Every other vertex is demoted: its lists are dropped from the index and
+// replaced by two compact may-reach filters whose negative answers are
+// definitive:
+//
+//   - a hash-consed MR-union bitset per direction — the OR of the dropped
+//     list's MR ids, interned in a tier-local pool exactly like the packed
+//     form's MR-sets (demoted vertices massively repeat union shapes);
+//   - a per-direction block Bloom filter over the dropped (hub, mr) pairs —
+//     bloomWords 64-bit words per block, two probes per key, sized to the
+//     budget left after the exact tier and the unions.
+//
+// The query path becomes three-tier. Both endpoints retained: the normal
+// exact probe on complete lists (tier 1). Any endpoint demoted: the filter
+// probe (tier 2) — every structure over-approximates the dropped lists, so
+// an all-negative probe is a definitive FALSE, a hit on the *retained* side's
+// complete list is a definitive TRUE, and only a genuine "maybe" falls
+// through to tier 3, an exact product-BFS traversal over the graph. Per-tier
+// atomic counters make the filter's false-positive rate observable in
+// /stats.
+//
+// Demotion is physical: after the filters are built the demoted lists are
+// truncated from the entry CSR and the packed form is re-derived, so
+// NumEntries, SizeBytes, serialization, and the packed==entries invariant
+// all reflect the budget automatically. The budget is a target with a
+// floor: the exact tier never exceeds it, but the filter tier always keeps
+// at least one bloom word per block (~24 bytes/vertex plus the union pool),
+// so a budget below that floor yields the floor, never an unsound index.
+
+// invalidTierSet marks a demoted vertex whose dropped list was empty: no MR
+// is present, every union probe is false.
+const invalidTierSet = ^uint32(0)
+
+// tierVerdict is the outcome of a filter probe.
+type tierVerdict uint8
+
+const (
+	tierFalse tierVerdict = iota // definitive: no structure admits the query
+	tierTrue                     // definitive: found on a retained, complete list
+	tierMaybe                    // filters cannot exclude it: traverse
+)
+
+// tiers is the filter tier of a size-budgeted index. Ranks [0, retainedRanks)
+// keep their full entry lists; every demoted vertex v occupies slot
+// rank[v]-retainedRanks in the union and bloom arrays (the rank prefix makes
+// slots contiguous — no id map).
+type tiers struct {
+	retainedRanks int32  // ranks below this keep full lists
+	budget        int64  // the configured Options.MaxIndexBytes
+	bloomWords    uint32 // 64-bit words per bloom block; power of two in [1, 64]
+
+	unionOut []uint32 // slot -> union set id over dropped Lout MRs (invalidTierSet = empty)
+	unionIn  []uint32 // slot -> union set id over dropped Lin MRs
+	desc     []setDesc
+	words    []uint64 // tier-local hash-consed union pool
+	bloom    []uint64 // blocks: slot*2 = out, slot*2+1 = in; bloomWords words each
+
+	exactHits      atomic.Int64 // tier-1 answers (complete-list probe decided)
+	filterDefinite atomic.Int64 // tier-2 answers (filters decided without traversal)
+	filterMaybe    atomic.Int64 // tier-3 answers (filters said maybe; traversal ran)
+
+	// Tier-3 machinery: one lazily compiled NFA per interned MR (queries only
+	// reach the fallback with MRs the dictionary maps, which are exactly the
+	// validated constraint they looked up), and a pool of reusable product-BFS
+	// evaluators (an Evaluator is not concurrent-safe; queries are).
+	nfas  []atomic.Pointer[automaton.NFA]
+	evals sync.Pool
+}
+
+// slotOf returns the demoted slot of rank r.
+func (tr *tiers) slotOf(r int32) int32 { return r - tr.retainedRanks }
+
+// outBlock returns the bloom block guarding the dropped Lout list of slot.
+//
+//rlc:noalloc
+func (tr *tiers) outBlock(slot int32) []uint64 {
+	w := int64(tr.bloomWords)
+	off := int64(slot) * 2 * w
+	return tr.bloom[off : off+w]
+}
+
+// inBlock returns the bloom block guarding the dropped Lin list of slot.
+//
+//rlc:noalloc
+func (tr *tiers) inBlock(slot int32) []uint64 {
+	w := int64(tr.bloomWords)
+	off := int64(slot)*2*w + w
+	return tr.bloom[off : off+w]
+}
+
+// mix64 is the splitmix64 finalizer — the bloom key hash.
+//
+//rlc:noalloc
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// bloomHas probes block for the (hub, mr) key: two bits derived from one
+// 64-bit hash (low and high halves — blocks are at most 4096 bits, so the
+// halves are independent). False means the dropped list definitively did not
+// carry (hub, mr); true means maybe.
+//
+//rlc:noalloc
+func (tr *tiers) bloomHas(block []uint64, hub uint32, mr labelseq.ID) bool {
+	h := mix64(uint64(hub)<<32 | uint64(uint32(mr)))
+	mask := uint64(len(block))*64 - 1
+	b1, b2 := h&mask, (h>>32)&mask
+	return block[b1>>6]>>(b1&63)&1 != 0 && block[b2>>6]>>(b2&63)&1 != 0
+}
+
+// bloomAdd inserts the (hub, mr) key — the build-time mirror of bloomHas.
+func (tr *tiers) bloomAdd(block []uint64, hub uint32, mr labelseq.ID) {
+	h := mix64(uint64(hub)<<32 | uint64(uint32(mr)))
+	mask := uint64(len(block))*64 - 1
+	b1, b2 := h&mask, (h>>32)&mask
+	block[b1>>6] |= 1 << (b1 & 63)
+	block[b2>>6] |= 1 << (b2 & 63)
+}
+
+// unionHas reports whether the union set contains mr — the same windowed
+// bit probe as the packed form's has, over the tier-local pool.
+//
+//rlc:noalloc
+func (tr *tiers) unionHas(set uint32, mr labelseq.ID) bool {
+	if set == invalidTierSet {
+		return false
+	}
+	d := tr.desc[set]
+	w := uint32(mr>>6) - d.base // unsigned: below-window wraps huge
+	if w >= d.span {
+		return false
+	}
+	return tr.words[d.off+w]>>(mr&63)&1 != 0
+}
+
+// sizeBytes is the resident size of the filter tier: union slot arrays,
+// descriptors, pool words, bloom blocks, and the fixed meta record.
+func (tr *tiers) sizeBytes() int64 {
+	return int64(len(tr.unionOut)+len(tr.unionIn))*4 + int64(len(tr.desc))*12 +
+		int64(len(tr.words))*8 + int64(len(tr.bloom))*8 + tierMetaSize
+}
+
+// initTierRuntime attaches tr to ix and wires the tier-3 fallback machinery
+// (shared by Build and the snapshot open path).
+func initTierRuntime(ix *Index, tr *tiers) {
+	tr.nfas = make([]atomic.Pointer[automaton.NFA], ix.dict.Len())
+	g := ix.g
+	tr.evals.New = func() any { return traversal.NewEvaluator(g) }
+	ix.tiers = tr
+}
+
+// Tiered reports whether the index is size-budgeted: demoted vertices answer
+// through may-reach filters with an exact traversal fallback. False for
+// unbudgeted indexes and for budgets large enough to retain every vertex.
+func (ix *Index) Tiered() bool { return ix.tiers != nil }
+
+// TierStats summarizes the filter tier and its hit counters for reporting.
+type TierStats struct {
+	// Budget is the configured MaxIndexBytes (0 on an untiered index).
+	Budget int64
+	// RetainedVertices keep full entry lists; DemotedVertices answer through
+	// filters. Retained+Demoted equals the vertex count on a tiered index.
+	RetainedVertices int
+	DemotedVertices  int
+	// FilterBytes is the resident size of the filter tier (unions, blooms,
+	// slot arrays, meta).
+	FilterBytes int64
+	// UnionSets is the number of distinct hash-consed MR-union sets.
+	UnionSets int
+	// BloomBitsPerFilter is the size of one per-vertex, per-direction bloom
+	// block in bits.
+	BloomBitsPerFilter int
+	// ExactHits counts queries decided on complete lists (tier 1, including
+	// definitive TRUEs found on the retained side of a mixed query);
+	// FilterDefinite counts queries the filters decided without traversal;
+	// FilterMaybe counts queries that fell through to the exact traversal.
+	ExactHits      int64
+	FilterDefinite int64
+	FilterMaybe    int64
+}
+
+// TierStats returns the filter tier's summary; the zero value when the index
+// is not tiered.
+func (ix *Index) TierStats() TierStats {
+	tr := ix.tiers
+	if tr == nil {
+		return TierStats{}
+	}
+	return TierStats{
+		Budget:             tr.budget,
+		RetainedVertices:   int(tr.retainedRanks),
+		DemotedVertices:    len(tr.unionOut),
+		FilterBytes:        tr.sizeBytes(),
+		UnionSets:          len(tr.desc),
+		BloomBitsPerFilter: int(tr.bloomWords) * 64,
+		ExactHits:          tr.exactHits.Load(),
+		FilterDefinite:     tr.filterDefinite.Load(),
+		FilterMaybe:        tr.filterMaybe.Load(),
+	}
+}
+
+// queryTiered answers a query with at least one demoted endpoint: filter
+// probe first, exact traversal only on "maybe". Counter increments are
+// atomic adds, which the noalloc allowlist covers.
+//
+//rlc:noalloc
+func (ix *Index) queryTiered(s, t graph.Vertex, mr labelseq.ID) bool {
+	tr := ix.tiers
+	switch ix.probeTiered(s, t, mr) {
+	case tierTrue:
+		tr.exactHits.Add(1)
+		return true
+	case tierFalse:
+		tr.filterDefinite.Add(1)
+		return false
+	}
+	tr.filterMaybe.Add(1)
+	return ix.traverseFallback(s, t, mr) //rlc:allocok tier-3 fallback: pooled evaluator + lazy NFA compile
+}
+
+// probeTiered runs the tier-2 filter probe for a query with at least one
+// demoted endpoint. Soundness: a retained vertex's lists are complete, so a
+// hit there is a definitive TRUE; every filter over-approximates the dropped
+// list it stands in for, so a probe that excludes Case 2 in both directions
+// and Case 1 (Definition 4) is a definitive FALSE.
+//
+//rlc:noalloc
+func (ix *Index) probeTiered(s, t graph.Vertex, mr labelseq.ID) tierVerdict {
+	tr := ix.tiers
+	r := tr.retainedRanks
+	rs, rt := ix.rank[s], ix.rank[t]
+	switch {
+	case rs < r: // s retained, t demoted
+		// Case 2: (rank(t), mr) ∈ Lout(s) — exact on the complete list.
+		if ix.loutHas(s, rt, mr) {
+			return tierTrue
+		}
+		ts := tr.slotOf(rt)
+		if !tr.unionHas(tr.unionIn[ts], mr) {
+			// The dropped Lin(t) carried no entry with this MR at all:
+			// no Case 2 on the t side and no Case 1 either.
+			return tierFalse
+		}
+		// Case 2 mirror: (rank(s), mr) ∈ Lin(t)?
+		if tr.bloomHas(tr.inBlock(ts), uint32(rs), mr) {
+			return tierMaybe
+		}
+		// Case 1: a hub carrying mr on both Lout(s) and the dropped Lin(t).
+		if ix.anyOutHubMaybe(s, mr, tr.inBlock(ts)) {
+			return tierMaybe
+		}
+		return tierFalse
+	case rt < r: // t retained, s demoted — the mirror image
+		if ix.linHas(t, rs, mr) {
+			return tierTrue
+		}
+		ss := tr.slotOf(rs)
+		if !tr.unionHas(tr.unionOut[ss], mr) {
+			return tierFalse
+		}
+		if tr.bloomHas(tr.outBlock(ss), uint32(rt), mr) {
+			return tierMaybe
+		}
+		if ix.anyInHubMaybe(t, mr, tr.outBlock(ss)) {
+			return tierMaybe
+		}
+		return tierFalse
+	default: // both demoted
+		ss, ts := tr.slotOf(rs), tr.slotOf(rt)
+		outHas := tr.unionHas(tr.unionOut[ss], mr)
+		inHas := tr.unionHas(tr.unionIn[ts], mr)
+		// Case 1 needs mr on both dropped lists; the unions cannot localize
+		// the common hub, so both present is already a maybe.
+		if outHas && inHas {
+			return tierMaybe
+		}
+		// Case 2 either way: (rank(t), mr) ∈ Lout(s) / (rank(s), mr) ∈ Lin(t).
+		if outHas && tr.bloomHas(tr.outBlock(ss), uint32(rt), mr) {
+			return tierMaybe
+		}
+		if inHas && tr.bloomHas(tr.inBlock(ts), uint32(rs), mr) {
+			return tierMaybe
+		}
+		return tierFalse
+	}
+}
+
+// loutHas is exact (hub, mr) membership on a retained vertex's complete Lout
+// list, through the packed form when present.
+//
+//rlc:noalloc
+func (ix *Index) loutHas(v graph.Vertex, hub int32, mr labelseq.ID) bool {
+	if p := ix.packed; p != nil {
+		return p.groupHas(p.groups[p.outOff[v]:p.outOff[v+1]], hub, mr)
+	}
+	return hasEntry(ix.lout(v), hub, mr)
+}
+
+// linHas is the Lin mirror of loutHas.
+//
+//rlc:noalloc
+func (ix *Index) linHas(v graph.Vertex, hub int32, mr labelseq.ID) bool {
+	if p := ix.packed; p != nil {
+		return p.groupHas(p.groups[p.inOff[v]:p.inOff[v+1]], hub, mr)
+	}
+	return hasEntry(ix.lin(v), hub, mr)
+}
+
+// anyOutHubMaybe enumerates the hubs carrying mr on the retained vertex s's
+// complete Lout list and bloom-probes each against the demoted side's block:
+// true when some common hub cannot be excluded (Case 1 maybe), false when
+// every one is (Case 1 definitively fails).
+//
+//rlc:noalloc
+func (ix *Index) anyOutHubMaybe(s graph.Vertex, mr labelseq.ID, block []uint64) bool {
+	tr := ix.tiers
+	if p := ix.packed; p != nil {
+		for _, g := range p.groups[p.outOff[s]:p.outOff[s+1]] {
+			if p.has(g.set, mr) && tr.bloomHas(block, uint32(g.hub), mr) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range ix.lout(s) {
+		if e.mr == mr && tr.bloomHas(block, uint32(e.hub), mr) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyInHubMaybe is the Lin mirror of anyOutHubMaybe.
+//
+//rlc:noalloc
+func (ix *Index) anyInHubMaybe(t graph.Vertex, mr labelseq.ID, block []uint64) bool {
+	tr := ix.tiers
+	if p := ix.packed; p != nil {
+		for _, g := range p.groups[p.inOff[t]:p.inOff[t+1]] {
+			if p.has(g.set, mr) && tr.bloomHas(block, uint32(g.hub), mr) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range ix.lin(t) {
+		if e.mr == mr && tr.bloomHas(block, uint32(e.hub), mr) {
+			return true
+		}
+	}
+	return false
+}
+
+// traverseFallback is tier 3: an exact product BFS over graph × NFA. The
+// NFA for each MR is compiled once and cached; evaluators are pooled because
+// one is not concurrent-safe but queries are.
+func (ix *Index) traverseFallback(s, t graph.Vertex, mr labelseq.ID) bool {
+	tr := ix.tiers
+	nfa := tr.nfas[mr].Load()
+	if nfa == nil {
+		numLabels := ix.g.NumLabels()
+		if numLabels == 0 {
+			numLabels = 1
+		}
+		// Interned sequences are non-empty, at most k long, and in label
+		// range (Build interns only validated sequences; decodeDict enforces
+		// the same bounds), so Compile cannot fail here — but a corrupt
+		// in-memory state must degrade to the safe answer for the query
+		// semantics, which for an uncompilable constraint is "no path".
+		built, err := automaton.NewPlus(ix.dict.Seq(mr), numLabels)
+		if err != nil {
+			return false
+		}
+		tr.nfas[mr].Store(built)
+		nfa = built
+	}
+	ev := tr.evals.Get().(*traversal.Evaluator)
+	ok := ev.BiBFS(s, t, nfa)
+	tr.evals.Put(ev)
+	return ok
+}
+
+// tierSlotBytes is the per-demoted-vertex space the filter tier always
+// keeps regardless of content: two u32 union slots plus two one-word bloom
+// blocks.
+const tierSlotBytes = 2*4 + 2*8
+
+// tier demotes vertices to fit Options.MaxIndexBytes. size(r) is the EXACT
+// tiered size at the minimum bloom width when ranks [r, n) are demoted:
+// hash-consed union-pool totals depend only on the set of distinct windows,
+// not insertion order, so the walk from r = n-1 down to 0 can maintain them
+// incrementally in a counting table and read off the real size at every
+// candidate cut. The builder keeps the largest exact prefix whose size fits
+// the budget, and when even the cheapest layout exceeds the budget (the
+// floor case) it takes the size-minimizing cut instead.
+//
+// That makes the built size monotone in the budget and bounded by
+// min(full, max(budget, floor)): with cuts chosen by exact size, a looser
+// budget either keeps the same cut (and can only grow the bloom blocks
+// into its larger residual) or moves to a higher cut whose size already
+// exceeds everything the tighter budget could build. On graphs whose
+// entry lists are smaller than a filter — where even the floor layout
+// would exceed the unbudgeted index — the builder refuses to tier at all:
+// a size budget must never produce a larger index.
+//
+// Filters are then built from the (still complete) demoted lists, the
+// demoted lists are truncated from the entry CSR, and the packed form is
+// re-derived — so every representation the index serves or serializes
+// reflects the budget. A budget that fits the whole index is a no-op: the
+// index stays bit-identical to an unbudgeted build.
+func (ix *Index) tier() error {
+	budget := ix.opts.MaxIndexBytes
+	if budget <= 0 {
+		return nil
+	}
+	if budget >= ix.SizeBytes() {
+		return nil // the whole index fits: no tiering, bit-identical bundle
+	}
+	n := ix.g.NumVertices()
+	// Fixed costs (dictionary, offset arrays) live outside the tier
+	// trade-off but inside SizeBytes, which the budget is denominated in.
+	fixed := ix.SizeBytes() - ix.NumEntries()*8
+	w := setWordsFor(ix.dict.Len())
+	tmp := make([]uint64, w)
+	key := make([]byte, 4+w*8)
+	// windowKey renders a list's MR-union as its consing key — the window
+	// base followed by the window words — leaving the bitset in tmp. Nil for
+	// an empty list (stored as invalidTierSet, no pool cost).
+	windowKey := func(list []entry) []byte {
+		if len(list) == 0 {
+			return nil
+		}
+		clear(tmp)
+		for _, e := range list {
+			tmp[e.mr>>6] |= 1 << (e.mr & 63)
+		}
+		first, last := 0, len(tmp)-1
+		for tmp[first] == 0 {
+			first++
+		}
+		for tmp[last] == 0 {
+			last--
+		}
+		binary.LittleEndian.PutUint32(key, uint32(first))
+		for wi, word := range tmp[first : last+1] {
+			binary.LittleEndian.PutUint64(key[4+wi*8:], word)
+		}
+		return key[:4+(last-first+1)*8]
+	}
+
+	// Selection: walk the cut down from n, consing each newly demoted
+	// vertex's windows into a counting table so size(r) is exact.
+	seen := make(map[string]struct{})
+	poolBytes := int64(0) // 12 B descriptor + 8 B/word per distinct window
+	prefixEntryBytes := ix.NumEntries() * 8
+	retained, best, bestSize := -1, n-1, int64(math.MaxInt64)
+	for r := n - 1; r >= 0; r-- {
+		v := ix.order[r]
+		for _, list := range [2][]entry{ix.lout(v), ix.lin(v)} {
+			k := windowKey(list)
+			if k == nil {
+				continue
+			}
+			if _, ok := seen[string(k)]; !ok {
+				seen[string(k)] = struct{}{}
+				poolBytes += 12 + int64(len(k)-4)
+			}
+		}
+		prefixEntryBytes -= int64(len(ix.lout(v))+len(ix.lin(v))) * 8
+		size := fixed + prefixEntryBytes + int64(n-r)*tierSlotBytes + poolBytes + tierMetaSize
+		if size <= budget {
+			retained = r
+			break
+		}
+		if size < bestSize {
+			best, bestSize = r, size
+		}
+	}
+	if retained < 0 {
+		if bestSize >= ix.SizeBytes() {
+			// Even the cheapest tiered layout is no smaller than the full
+			// index: the per-vertex filter floor exceeds what demotion
+			// saves. Tiering would grow the index while costing exactness
+			// of the fast path, so keep the whole index instead.
+			return nil
+		}
+		retained = best // floor: no cut fits, take the smallest layout
+	}
+	exactBytes := int64(0)
+	for r := 0; r < retained; r++ {
+		v := ix.order[r]
+		exactBytes += int64(len(ix.lout(v))+len(ix.lin(v))) * 8
+	}
+	d := n - retained
+	tr := &tiers{
+		retainedRanks: int32(retained),
+		budget:        budget,
+		unionOut:      make([]uint32, d),
+		unionIn:       make([]uint32, d),
+	}
+
+	// MR-union bitsets over the dropped lists, hash-consed exactly like
+	// pack's MR-sets: window-compressed words keyed by base+bits. The pool
+	// totals match the selection walk's (same distinct-window set), only the
+	// IDs are assigned in slot order here.
+	table := make(map[string]uint32)
+	intern := func(list []entry) (uint32, error) {
+		k := windowKey(list)
+		if k == nil {
+			return invalidTierSet, nil
+		}
+		set, ok := table[string(k)]
+		if !ok {
+			first := binary.LittleEndian.Uint32(k[:4])
+			span := (len(k) - 4) / 8
+			if int64(len(table)) >= math.MaxInt32-1 || // reserve invalidTierSet
+				int64(len(tr.words))+int64(span) > math.MaxInt32 {
+				return 0, fmt.Errorf("rlc: tier union pool exceeds 2^31-1 sets or words")
+			}
+			set = uint32(len(table))
+			table[string(k)] = set
+			tr.desc = append(tr.desc, setDesc{
+				off:  uint32(len(tr.words)),
+				base: first,
+				span: uint32(span),
+			})
+			tr.words = append(tr.words, tmp[first:first+uint32(span)]...)
+		}
+		return set, nil
+	}
+	for r := retained; r < n; r++ {
+		v := ix.order[r]
+		slot := r - retained
+		var err error
+		if tr.unionOut[slot], err = intern(ix.lout(v)); err != nil {
+			return err
+		}
+		if tr.unionIn[slot], err = intern(ix.lin(v)); err != nil {
+			return err
+		}
+	}
+
+	// Bloom blocks: the largest power-of-two word count the residual budget
+	// affords, clamped to [1, 64] words ([64, 4096] bits) per block.
+	unionBytes := int64(2*d)*4 + int64(len(tr.desc))*12 + int64(len(tr.words))*8
+	residual := budget - fixed - exactBytes - unionBytes - tierMetaSize
+	bloomWords := uint32(1)
+	for bloomWords < 64 && int64(2*d)*int64(bloomWords*2)*8 <= residual {
+		bloomWords *= 2
+	}
+	tr.bloomWords = bloomWords
+	tr.bloom = make([]uint64, int64(2*d)*int64(bloomWords))
+	for r := retained; r < n; r++ {
+		v := ix.order[r]
+		slot := int32(r - retained)
+		for _, e := range ix.lout(v) {
+			tr.bloomAdd(tr.outBlock(slot), uint32(e.hub), e.mr)
+		}
+		for _, e := range ix.lin(v) {
+			tr.bloomAdd(tr.inBlock(slot), uint32(e.hub), e.mr)
+		}
+	}
+
+	// Physically truncate the demoted lists from the entry CSR: the entry
+	// array stays authoritative for exactly what the index retains.
+	keep := int64(0)
+	for r := 0; r < retained; r++ {
+		v := ix.order[r]
+		keep += int64(len(ix.lout(v)) + len(ix.lin(v)))
+	}
+	entries := make([]entry, 0, keep)
+	outOff := make([]int32, n+1)
+	inOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		outOff[v] = int32(len(entries))
+		if ix.rank[v] < tr.retainedRanks {
+			entries = append(entries, ix.lout(graph.Vertex(v))...)
+		}
+	}
+	outOff[n] = int32(len(entries))
+	for v := 0; v < n; v++ {
+		inOff[v] = int32(len(entries))
+		if ix.rank[v] < tr.retainedRanks {
+			entries = append(entries, ix.lin(graph.Vertex(v))...)
+		}
+	}
+	inOff[n] = int32(len(entries))
+	ix.entries, ix.outOff, ix.inOff = entries, outOff, inOff
+	if ix.packed != nil {
+		// Re-derive the packed form from the truncated entries so the
+		// packed==entries invariant (and Snapshot.Verify) keeps holding.
+		if err := ix.pack(); err != nil {
+			return err
+		}
+	}
+	initTierRuntime(ix, tr)
+	return nil
+}
+
+// verifyTiers checks the tier block's semantic consistency with the entry
+// array: a tiered index must have physically truncated every demoted
+// vertex's lists (a bundle assembled from mismatched halves — a tier block
+// claiming one retention split stapled to entries from another — checksums
+// clean but would answer from lists the filters do not cover).
+func (ix *Index) verifyTiers() error {
+	tr := ix.tiers
+	if tr == nil {
+		return nil
+	}
+	for r := int(tr.retainedRanks); r < len(ix.order); r++ {
+		v := ix.order[r]
+		if len(ix.lout(v)) != 0 || len(ix.lin(v)) != 0 {
+			return fmt.Errorf("rlc: tier block retains %d ranks but demoted vertex %d (rank %d) still has entries",
+				tr.retainedRanks, v, r)
+		}
+	}
+	return nil
+}
+
+// VerifyTiers is the exported face of verifyTiers for inspection tools that
+// replicate Snapshot.Verify piecewise (rlcinspect); nil on an untiered index.
+func (ix *Index) VerifyTiers() error { return ix.verifyTiers() }

@@ -127,6 +127,13 @@ func New(g *graph.Graph, ix *core.Index, opts Options) *DeltaGraph {
 	if opts.RebuildThreshold == 0 {
 		opts.RebuildThreshold = DefaultRebuildThreshold
 	}
+	if opts.IndexOptions == (core.Options{}) {
+		// Unconfigured folds inherit the wrapped index's build options (k,
+		// packed form, size budget), so every rebuilt epoch keeps the base
+		// index's representation — in particular a size-budgeted base stays
+		// within its MaxIndexBytes across folds.
+		opts.IndexOptions = ix.BuildOptions()
+	}
 	d := &DeltaGraph{opts: opts}
 	d.cur.Store(&view{base: g, ix: ix, adj: map[graph.Vertex][]graph.Edge{}, probes: &sync.Map{}})
 	return d

@@ -810,12 +810,29 @@ type MutableStats struct {
 	LastRebuildError string `json:"last_rebuild_error,omitempty"`
 }
 
+// tierStatsResponse is the "tiers" section of /stats, present only when the
+// serving index is size-budgeted. The hit counters are cumulative over the
+// serving generation's lifetime; operators watch the definite/maybe ratio to
+// judge whether the configured budget keeps the filter tier selective.
+type tierStatsResponse struct {
+	Budget             int64 `json:"budget"`
+	RetainedVertices   int   `json:"retained_vertices"`
+	DemotedVertices    int   `json:"demoted_vertices"`
+	FilterBytes        int64 `json:"filter_bytes"`
+	UnionSets          int   `json:"union_sets"`
+	BloomBitsPerFilter int   `json:"bloom_bits_per_filter"`
+	ExactHits          int64 `json:"exact_hits"`
+	FilterDefinite     int64 `json:"filter_definite"`
+	FilterMaybe        int64 `json:"filter_maybe"`
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Generation    uint64                   `json:"generation"`
 	Source        string                   `json:"source"`
 	Index         core.Stats               `json:"index"`
+	Tiers         *tierStatsResponse       `json:"tiers,omitempty"`
 	Build         *core.BuildStats         `json:"build,omitempty"`
 	Cache         *CacheStats              `json:"cache,omitempty"`
 	Mutable       *MutableStats            `json:"mutable,omitempty"`
@@ -871,6 +888,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) bool {
 			"healthz": s.mHealthz.snapshot(),
 		},
 	}
+	if st.ix.Tiered() {
+		ts := st.ix.TierStats()
+		resp.Tiers = &tierStatsResponse{
+			Budget:             ts.Budget,
+			RetainedVertices:   ts.RetainedVertices,
+			DemotedVertices:    ts.DemotedVertices,
+			FilterBytes:        ts.FilterBytes,
+			UnionSets:          ts.UnionSets,
+			BloomBitsPerFilter: ts.BloomBitsPerFilter,
+			ExactHits:          ts.ExactHits,
+			FilterDefinite:     ts.FilterDefinite,
+			FilterMaybe:        ts.FilterMaybe,
+		}
+	}
 	if st.cache != nil {
 		cst := st.cache.stats()
 		resp.Cache = &cst
@@ -900,6 +931,10 @@ type healthzResponse struct {
 	JournalSeq uint64 `json:"journal_seq"`
 	// BundleFingerprint is the compact fingerprint of the serving base.
 	BundleFingerprint string `json:"bundle_fingerprint"`
+	// IndexBudget is the configured MaxIndexBytes when the serving index is
+	// size-budgeted (tiered); omitted otherwise. Health pollers use it to
+	// confirm a replica serves the intended index tier configuration.
+	IndexBudget int64 `json:"index_budget,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
@@ -914,6 +949,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) bool {
 		Role:              s.opts.role(),
 		JournalSeq:        st.seqNow(),
 		BundleFingerprint: st.fp.Compact(),
+		IndexBudget:       st.ix.TierStats().Budget,
 	}
 	if st.delta != nil {
 		// The pinned generation's own epoch, not the server-wide counter:
@@ -953,6 +989,8 @@ func errorCode(err error) string {
 		return "graph_mismatch"
 	case errors.Is(err, snapshot.ErrCorrupt):
 		return "corrupt_snapshot"
+	case errors.Is(err, core.ErrTieredV1):
+		return "tiered_v1"
 	case errors.Is(err, core.ErrNotMinimumRepeat):
 		return "not_minimum_repeat"
 	case errors.Is(err, core.ErrConstraintTooLong):

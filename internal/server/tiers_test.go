@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"testing"
+
+	"github.com/g-rpqs/rlc-go/internal/core"
+	"github.com/g-rpqs/rlc-go/internal/graph"
+	"github.com/g-rpqs/rlc-go/internal/labelseq"
+)
+
+// tieredTestGraph returns a graph dense enough for tiering to pay: the
+// builder refuses to tier graphs whose entry lists are cheaper than the
+// per-vertex filter floor (graph.Fig2 is one), so the tier-facing server
+// tests need real list volume. Names follow the v%d/l%d fixture convention
+// so the mutable-update paths work unchanged.
+func tieredTestGraph() *graph.Graph {
+	const n, labels, edges = 48, 3, 220
+	b := graph.NewBuilder(n, labels)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i+1)
+	}
+	b.SetVertexNames(names)
+	b.SetLabelNames([]string{"l1", "l2", "l3"})
+	seed := uint64(41)
+	next := func(m int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(m))
+	}
+	for i := 0; i < edges; i++ {
+		b.AddEdge(graph.Vertex(next(n)), graph.Label(next(labels)), graph.Vertex(next(n)))
+	}
+	return b.Build()
+}
+
+func buildTieredIndex(t *testing.T, g *graph.Graph, budget int64) *core.Index {
+	t.Helper()
+	ix, err := core.Build(g, core.Options{K: 2, MaxIndexBytes: budget})
+	if err != nil {
+		t.Fatalf("build tiered index: %v", err)
+	}
+	if !ix.Tiered() {
+		t.Fatalf("budget %d did not tier the index", budget)
+	}
+	return ix
+}
+
+// TestStatsTierShape pins the /stats "tiers" contract: the exact key set
+// dashboards scrape, the configured budget, and hit counters that move under
+// query traffic and cover it. An untiered server must omit the section
+// entirely.
+func TestStatsTierShape(t *testing.T) {
+	g := tieredTestGraph()
+	ix := buildTieredIndex(t, g, 1)
+	full := buildIndex(t, g)
+	_, hts := newTestServer(t, ix, Options{})
+
+	queries := 0
+	for s := 0; s < g.NumVertices(); s++ {
+		for d := 0; d < g.NumVertices(); d++ {
+			var resp queryResponse
+			if code := getJSON(t, queryURL(hts.URL, fmt.Sprint(s), fmt.Sprint(d), "l1"), &resp); code != http.StatusOK {
+				t.Fatalf("(%d,%d): status %d", s, d, code)
+			}
+			want, err := full.Query(graph.Vertex(s), graph.Vertex(d), labelseq.Seq{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Reachable != want {
+				t.Fatalf("(%d,%d,l1): tiered server says %v, unbudgeted index says %v", s, d, resp.Reachable, want)
+			}
+			queries++
+		}
+	}
+
+	var m map[string]any
+	getJSON(t, hts.URL+"/stats", &m)
+	sec, ok := m["tiers"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no tiers section: %v", m)
+	}
+	var keys []string
+	for k := range sec {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{"bloom_bits_per_filter", "budget", "demoted_vertices", "exact_hits",
+		"filter_bytes", "filter_definite", "filter_maybe", "retained_vertices", "union_sets"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("tiers keys drifted:\n got %v\nwant %v", keys, want)
+	}
+	if sec["budget"] != float64(1) {
+		t.Fatalf("budget = %v, want 1", sec["budget"])
+	}
+	if got := sec["retained_vertices"].(float64) + sec["demoted_vertices"].(float64); got != float64(g.NumVertices()) {
+		t.Fatalf("tier split sums to %v of %d vertices", got, g.NumVertices())
+	}
+	decided := sec["exact_hits"].(float64) + sec["filter_definite"].(float64) + sec["filter_maybe"].(float64)
+	if decided != float64(queries) {
+		t.Fatalf("tier counters sum to %v, served %d queries", decided, queries)
+	}
+	if sec["filter_definite"].(float64) == 0 {
+		t.Fatal("filter tier decided nothing on an all-demoted index")
+	}
+
+	_, plain := newTestServer(t, full, Options{})
+	m = nil
+	getJSON(t, plain.URL+"/stats", &m)
+	if _, present := m["tiers"]; present {
+		t.Fatal("untiered /stats carries a tiers section")
+	}
+}
+
+// TestHealthzTierBudget extends the healthz shape pin to a tiered server:
+// the index_budget key appears with the configured budget, and only then.
+func TestHealthzTierBudget(t *testing.T) {
+	g := tieredTestGraph()
+	_, hts := newTestServer(t, buildTieredIndex(t, g, 1), Options{})
+	var m map[string]any
+	getJSON(t, hts.URL+"/healthz", &m)
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{"bundle_fingerprint", "generation", "index_budget", "journal_seq", "role", "status"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("tiered healthz keys drifted:\n got %v\nwant %v", keys, want)
+	}
+	if m["index_budget"] != float64(1) {
+		t.Fatalf("index_budget = %v, want 1", m["index_budget"])
+	}
+
+	_, plain := newTestServer(t, buildIndex(t, g), Options{})
+	m = nil
+	getJSON(t, plain.URL+"/healthz", &m)
+	if _, present := m["index_budget"]; present {
+		t.Fatal("untiered healthz carries index_budget")
+	}
+}
+
+// TestMutableTieredFoldKeepsBudget: a mutable server over a size-budgeted
+// index folds its journal into a rebuilt epoch that keeps the budget (and so
+// stays tiered), because folds inherit the base index's BuildOptions.
+func TestMutableTieredFoldKeepsBudget(t *testing.T) {
+	g := tieredTestGraph()
+	ix := buildTieredIndex(t, g, 1)
+	s, hts := newTestServer(t, ix, Options{Mutable: true, RebuildThreshold: -1})
+
+	var up UpdateResult
+	if code := postJSON(t, hts.URL+"/update", `{"s":"v1","l":"l1","t":"v4"}`, &up); code != http.StatusOK {
+		t.Fatalf("update: status %d", code)
+	}
+	if _, err := s.Rebuild(); err != nil {
+		t.Fatalf("fold: %v", err)
+	}
+
+	var m map[string]any
+	getJSON(t, hts.URL+"/stats", &m)
+	sec, ok := m["tiers"].(map[string]any)
+	if !ok {
+		t.Fatalf("post-fold /stats lost the tiers section: %v", m["tiers"])
+	}
+	if sec["budget"] != float64(1) {
+		t.Fatalf("post-fold budget = %v, want 1", sec["budget"])
+	}
+	var hz map[string]any
+	getJSON(t, hts.URL+"/healthz", &hz)
+	if hz["index_budget"] != float64(1) {
+		t.Fatalf("post-fold index_budget = %v, want 1", hz["index_budget"])
+	}
+}

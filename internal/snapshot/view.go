@@ -49,6 +49,25 @@ func I32s[T ~int32](b []byte) []T {
 	return out
 }
 
+// U32s returns b as little-endian uint32s (the tier union-set id arrays) —
+// a zero-copy view when possible, a decoded copy otherwise. The caller must
+// have checked len(b)%4 == 0.
+//
+//rlc:view
+func U32s(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if viewable(b, 4) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
 // I64s returns b as little-endian int64s — a zero-copy view when possible, a
 // decoded copy otherwise. The caller must have checked len(b)%8 == 0.
 //
@@ -100,6 +119,23 @@ func I32Bytes[T ~int32](s []T) []byte {
 	out := make([]byte, len(s)*4)
 	for i, v := range s {
 		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+// U32Bytes returns the raw little-endian bytes of s for writing.
+//
+//rlc:view
+func U32Bytes(s []uint32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	out := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
 	}
 	return out
 }
